@@ -1,0 +1,138 @@
+//! The UDP checksum fix-up of paper §III-3.
+//!
+//! The UDP checksum field travels in the **first** fragment, which the
+//! off-path attacker cannot modify. The spoofed second fragment therefore
+//! must keep the ones'-complement sum of its bytes identical to the
+//! original's: `f2' = f2* − (sum1(f2*) − sum1(f2))`, realised by writing a
+//! computed 16-bit value into a sacrificial ("slack") word of the modified
+//! fragment.
+
+use core::fmt;
+
+use netsim::checksum::{oc_sub, ones_complement_sum};
+
+/// Errors from the fix-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixError {
+    /// The slack offset is odd — it would straddle two 16-bit words.
+    UnalignedSlack {
+        /// The offending offset.
+        offset: usize,
+    },
+    /// The slack word lies outside the fragment.
+    SlackOutOfRange {
+        /// The offending offset.
+        offset: usize,
+        /// Fragment length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixError::UnalignedSlack { offset } => {
+                write!(f, "slack offset {offset} is not 16-bit aligned")
+            }
+            FixError::SlackOutOfRange { offset, len } => {
+                write!(f, "slack offset {offset} outside fragment of {len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixError {}
+
+/// Adjusts `modified` (in place) so that its ones'-complement sum equals
+/// `original`'s, by writing the required value into the 16-bit word at
+/// `slack_offset`. Both buffers must start at the same (even) offset within
+/// the original datagram, which holds for IPv4 fragments (8-byte aligned).
+///
+/// # Errors
+///
+/// Returns [`FixError`] if the slack word is unaligned or out of range.
+pub fn fix_fragment_sum(
+    original: &[u8],
+    modified: &mut [u8],
+    slack_offset: usize,
+) -> Result<(), FixError> {
+    if slack_offset % 2 != 0 {
+        return Err(FixError::UnalignedSlack { offset: slack_offset });
+    }
+    if slack_offset + 2 > modified.len() {
+        return Err(FixError::SlackOutOfRange { offset: slack_offset, len: modified.len() });
+    }
+    modified[slack_offset] = 0;
+    modified[slack_offset + 1] = 0;
+    let target = ones_complement_sum(original);
+    let current = ones_complement_sum(modified);
+    let fix = oc_sub(target, current);
+    modified[slack_offset..slack_offset + 2].copy_from_slice(&fix.to_be_bytes());
+    Ok(())
+}
+
+/// True if two byte strings have equal ones'-complement sums (up to the
+/// 0x0000/0xFFFF zero ambiguity) — the property a fixed fragment satisfies.
+pub fn sums_match(a: &[u8], b: &[u8]) -> bool {
+    let (sa, sb) = (ones_complement_sum(a), ones_complement_sum(b));
+    sa == sb || (sa == 0 && sb == 0xFFFF) || (sa == 0xFFFF && sb == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fix_restores_sum_after_edit() {
+        let original: Vec<u8> = (0..64u8).collect();
+        let mut modified = original.clone();
+        // Attacker replaces bytes 10..14 (a glue address).
+        modified[10..14].copy_from_slice(&[6, 6, 6, 6]);
+        fix_fragment_sum(&original, &mut modified, 40).unwrap();
+        assert!(sums_match(&original, &modified));
+        assert_eq!(&modified[10..14], &[6, 6, 6, 6], "edit survives the fix");
+    }
+
+    #[test]
+    fn odd_offset_rejected() {
+        let original = [0u8; 16];
+        let mut modified = [0u8; 16];
+        assert_eq!(
+            fix_fragment_sum(&original, &mut modified, 3),
+            Err(FixError::UnalignedSlack { offset: 3 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let original = [0u8; 16];
+        let mut modified = [0u8; 16];
+        assert_eq!(
+            fix_fragment_sum(&original, &mut modified, 16),
+            Err(FixError::SlackOutOfRange { offset: 16, len: 16 })
+        );
+    }
+
+    proptest! {
+        /// The paper's identity: for any original fragment, any set of
+        /// byte edits, and any aligned slack word, the fix-up equalises the
+        /// ones'-complement sums — so the UDP checksum in fragment 1 keeps
+        /// verifying.
+        #[test]
+        fn fix_always_equalises(
+            original in proptest::collection::vec(any::<u8>(), 8..256),
+            edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..16),
+            slack_word in any::<usize>(),
+        ) {
+            let mut modified = original.clone();
+            for (pos, val) in edits {
+                let idx = pos % modified.len();
+                modified[idx] = val;
+            }
+            let slack = (slack_word % (modified.len() / 2)) * 2;
+            fix_fragment_sum(&original, &mut modified, slack).unwrap();
+            prop_assert!(sums_match(&original, &modified));
+        }
+    }
+}

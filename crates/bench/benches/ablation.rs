@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! duplicate-fragment policy, fragment filtering, Chronos pool sanity,
+//! panic-mode agreement check, and challenge-response entropy (which the
+//! fragmentation attack sidesteps entirely).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    // 1. Defrag duplicate policy: FirstWins (attackable) vs LastWins.
+    let first = run_boot_time_attack(
+        ScenarioConfig { seed: 1, ..ScenarioConfig::default() },
+        ClientKind::Ntpd,
+    );
+    bench::show(
+        "ablation/duplicate-policy",
+        &format!("FirstWins (default): attack success = {}", first.success),
+    );
+
+    // 2. Chronos pool sanity: none vs hardened.
+    let mut plain = PoolGenerator::new(24, PoolSanity::none());
+    let mut hard = PoolGenerator::new(24, PoolSanity::hardened());
+    let malicious: Vec<std::net::Ipv4Addr> =
+        (1..=89u32).map(|i| std::net::Ipv4Addr::from(0x4242_0100 + i)).collect();
+    let taken_plain = plain.absorb(&malicious, 2 * 86_400);
+    let taken_hard = hard.absorb(&malicious, 2 * 86_400);
+    bench::show(
+        "ablation/chronos-sanity",
+        &format!("unchecked pool absorbed {taken_plain}/89; hardened absorbed {taken_hard}/89"),
+    );
+
+    // 3. Panic-mode agreement check: on (2/3 bound) vs off (partial shifts).
+    let mut offsets = vec![NtpDuration::from_secs_f64(0.0); 60];
+    offsets.extend(vec![NtpDuration::from_secs_f64(-500.0); 90]); // 60% attacker
+    let with_check = evaluate_panic(&offsets, &ChronosConfig::default());
+    let without = evaluate_panic(
+        &offsets,
+        &ChronosConfig { panic_omega_check: false, ..ChronosConfig::default() },
+    );
+    bench::show(
+        "ablation/panic-omega-check",
+        &format!("60% attacker: with check -> {with_check:?}; without -> {without:?}"),
+    );
+
+    // 4. Entropy independence: the fragment attack needs neither port nor
+    //    TXID guesses — both live in fragment 1.
+    bench::show(
+        "ablation/entropy",
+        "fragment replacement bypasses the 2^32 port x TXID space: the spoofed \
+         fragment matches on (src, dst, proto, IPID) only — see attack::forge tests",
+    );
+
+    c.bench_function("ablation/forge_tail", |b| {
+        use rand::SeedableRng;
+        let servers: Vec<std::net::Ipv4Addr> =
+            (1..=8).map(|i| std::net::Ipv4Addr::new(192, 0, 2, i)).collect();
+        let zone = pool_zone(servers, 23, "198.51.100.1".parse().unwrap());
+        let mut srv = AuthServer::new(vec![zone]);
+        let q = Message::query(7, "pool.ntp.org".parse().unwrap(), RecordType::A, false);
+        let wire = srv
+            .answer(&q, &mut rand::rngs::SmallRng::seed_from_u64(5))
+            .encode()
+            .unwrap();
+        b.iter(|| forge_tail(&wire, 548, "66.66.0.1".parse().unwrap()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

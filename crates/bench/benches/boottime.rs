@@ -1,0 +1,43 @@
+//! §IV-A: the boot-time attack pipeline — poisoning latency and the
+//! 5-fragment planting budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    bench::show("§IV-A budget", &experiments::boot_budget().to_string());
+    // Measure time-to-glue-poisoning across seeds.
+    let mut lat = Vec::new();
+    for seed in 0..5 {
+        let mut scenario = Scenario::build(ScenarioConfig { seed, ..ScenarioConfig::default() });
+        scenario.launch_poisoner();
+        if let Some(t) = scenario.run_until_condition(
+            SimDuration::from_secs(15),
+            SimDuration::from_mins(30),
+            |s| s.poisoner().map(OffPathPoisoner::glue_poisoned).unwrap_or(false),
+        ) {
+            lat.push(t.as_secs_f64() / 60.0);
+        }
+    }
+    bench::show(
+        "§IV-A glue-poisoning latency",
+        &format!("{}/5 seeds poisoned; minutes: {lat:.1?}", lat.len()),
+    );
+    c.bench_function("boottime/full_attack", |b| {
+        let mut seed = 100;
+        b.iter(|| {
+            seed += 1;
+            run_boot_time_attack(
+                ScenarioConfig { seed, ..ScenarioConfig::default() },
+                ClientKind::SystemdTimesyncd,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

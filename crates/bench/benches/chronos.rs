@@ -1,0 +1,33 @@
+//! §VI: the Chronos pool-poisoning bound (N <= 11) and the end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    bench::show("Chronos §VI-C", &experiments::format_chronos_bound(&experiments::chronos_bound()));
+    let outcome = run_chronos_attack(
+        ScenarioConfig { seed: 11, ..ScenarioConfig::default() },
+        SimDuration::from_mins(3),
+    );
+    bench::show(
+        "Chronos live",
+        &format!(
+            "pool fraction {:.1}%, final offset {:+.1}s, success={}",
+            outcome.malicious_fraction * 100.0,
+            outcome.observed_shift,
+            outcome.success
+        ),
+    );
+    c.bench_function("chronos/panic_round_137_servers", |b| {
+        let mut offsets = vec![NtpDuration::from_secs_f64(0.0); 48];
+        offsets.extend(vec![NtpDuration::from_secs_f64(-500.0); 89]);
+        b.iter(|| evaluate_panic(&offsets, &ChronosConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 5: CDF of minimum fragment sizes over the 1M-domain population
+//! (scaled), plus the §VII-B pool-nameserver scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig5(Scale { domains: 3000, ..Scale::quick() });
+    bench::show("Fig. 5", &experiments::format_fig5(&result));
+    let pool = experiments::pool_ns_scan(Scale::quick());
+    bench::show(
+        "§VII-B",
+        &format!(
+            "pool NS fragmenting <=548B: {}/30 (paper 16/30); signed: {} (paper 0)",
+            pool.cdf.iter().find(|(t, _)| *t == 548).map(|(_, n)| *n).unwrap_or(0),
+            pool.signed
+        ),
+    );
+    c.bench_function("fig5/pmtud_probe_one_ns", |b| {
+        let population = domain_nameservers(64, 9);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            measure::pmtud::scan_nameserver(&population[i % population.len()], i as u64)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

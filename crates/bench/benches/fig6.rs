@@ -1,0 +1,19 @@
+//! Fig. 6: TTL distribution of cached NTP pool records (via RD=0 snooping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let survey = experiments::resolver_survey(Scale { resolvers: 1200, ..Scale::quick() });
+    bench::show("Fig. 6", &experiments::format_fig6(&survey));
+    c.bench_function("fig6/ttl_histogram", |b| {
+        b.iter(|| survey.ttl_histogram(10, 150))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

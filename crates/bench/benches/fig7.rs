@@ -1,0 +1,20 @@
+//! Fig. 7: the latency side channel t_first − t_avg (and why it is not a
+//! usable cache detector).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let survey = experiments::resolver_survey(Scale { resolvers: 1200, ..Scale::quick() });
+    bench::show("Fig. 7", &experiments::format_fig7(&survey));
+    c.bench_function("fig7/timing_histogram", |b| {
+        b.iter(|| survey.timing_histogram(25.0, 200.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! §VII-A: the rate-limiting scan of pool.ntp.org servers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ratelimit_scan(Scale { pool_servers: 1200, ..Scale::quick() });
+    bench::show("§VII-A", &experiments::format_ratelimit(&result));
+    c.bench_function("ratelimit/scan_one_server", |b| {
+        let population = pool_servers(64, 9);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            measure::ratelimit::scan_server(&population[i % population.len()], i as u64)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

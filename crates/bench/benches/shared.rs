@@ -1,0 +1,24 @@
+//! §VIII-B3: shared-resolver discovery (open + SMTP-triggerable).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::shared_scan(Scale { shared: 2000, ..Scale::quick() });
+    bench::show("§VIII-B3", &experiments::format_shared(&result));
+    c.bench_function("shared/scan_200_resolvers", |b| {
+        let population = shared_resolvers(200, 9);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            measure::shared::run_scan(&population, i as u64)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

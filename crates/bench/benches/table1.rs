@@ -1,0 +1,27 @@
+//! Table I: attack scenarios for popular NTP clients (live boot-time
+//! verification per client model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let rows = experiments::table1(2020);
+    bench::show("Table I", &experiments::format_table1(&rows));
+    c.bench_function("table1/boot_attack_ntpd", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_boot_time_attack(
+                ScenarioConfig { seed, ..ScenarioConfig::default() },
+                ClientKind::Ntpd,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

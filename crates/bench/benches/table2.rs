@@ -1,0 +1,29 @@
+//! Table II: run-time attack durations (full end-to-end simulations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let rows = experiments::table2(2020);
+    bench::show("Table II", &experiments::format_table2(&rows));
+    c.bench_function("table2/runtime_attack_ntpd_p1", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_runtime_attack(
+                ScenarioConfig { seed, ..ScenarioConfig::default() },
+                ClientKind::Ntpd,
+                RuntimeScenario::KnownUpstreams {
+                    servers: (1..=8u32).map(|i| std::net::Ipv4Addr::from(0xC000_0200 + i)).collect(),
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Table III: vulnerable-state probabilities (closed form + Monte Carlo).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    bench::show("Table III", &experiments::format_table3(&experiments::table3()));
+    c.bench_function("table3/closed_form", |b| b.iter(experiments::table3));
+    c.bench_function("table3/monte_carlo_p2_6_4", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            timeshift::analysis::p2_monte_carlo(6, 4, P_RATE, 100_000, seed)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

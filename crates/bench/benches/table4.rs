@@ -1,0 +1,24 @@
+//! Table IV: pool.ntp.org caching state in open resolvers (RD=0 snooping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let survey = experiments::resolver_survey(Scale { resolvers: 1500, ..Scale::quick() });
+    bench::show("Table IV", &experiments::format_table4(&survey));
+    c.bench_function("table4/snoop_one_resolver", |b| {
+        let population = open_resolvers(64, 9);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            measure::snoop::scan_resolver(&population[i % population.len()], i as u64)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

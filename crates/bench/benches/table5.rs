@@ -1,0 +1,24 @@
+//! Table V: the ad-network client-resolver study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::table5(Scale { ad_fraction: 0.1, ..Scale::quick() });
+    bench::show("Table V", &experiments::format_table5(&result));
+    c.bench_function("table5/one_client_test_page", |b| {
+        let population = ad_clients_scaled(5, 0.01);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            measure::adstudy::run_client(&population[i % population.len()], i as u64)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Shared helpers for the benchmark harness: every bench prints the
+//! regenerated table/figure once, then measures the underlying experiment.
+
+/// Prints a regenerated artefact with a banner, once per bench run.
+pub fn show(title: &str, body: &str) {
+    println!("\n──── regenerated: {title} ────\n{body}");
+}

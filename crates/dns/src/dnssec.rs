@@ -1,0 +1,222 @@
+//! DNSSEC-lite: a structurally faithful, cryptographically simplified
+//! signing scheme.
+//!
+//! The paper's countermeasure analysis (§IX) only needs *whether* a zone is
+//! signed and *whether* a resolver validates — not real RSA/ECDSA. Zones
+//! hold a secret [`ZoneKey`]; RRsets are signed with a keyed hash carried in
+//! an `RRSIG`-like record; validating resolvers check signatures against a
+//! [`TrustAnchors`] table (standing in for the full chain of trust). An
+//! attacker without the zone key cannot produce a valid signature for forged
+//! records (modulo the 64-bit tag, which the simulator treats as
+//! unforgeable), so validation defeats the poisoning exactly as real DNSSEC
+//! would.
+
+use std::collections::HashMap;
+
+use crate::name::Name;
+use crate::record::{RData, Record, RecordType};
+
+/// A zone's signing key (secret).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZoneKey(pub u64);
+
+impl ZoneKey {
+    /// Key tag derived from the key (published in DNSKEY records).
+    pub fn tag(self) -> u16 {
+        (self.0 ^ (self.0 >> 16) ^ (self.0 >> 32) ^ (self.0 >> 48)) as u16
+    }
+}
+
+/// Computes the DNSSEC-lite signature over an RRset.
+///
+/// The tag is a keyed FNV-1a hash of the canonical RRset: owner name, type
+/// and the sorted RDATA byte images. Any change to the set — adding,
+/// removing or altering a record — changes the signature.
+pub fn sign_rrset(key: ZoneKey, owner: &Name, rtype: RecordType, records: &[Record]) -> u64 {
+    let mut images: Vec<Vec<u8>> = records
+        .iter()
+        .filter(|r| r.rtype() == rtype && r.name == *owner)
+        .map(rdata_image)
+        .collect();
+    images.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ key.0;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    absorb(owner.to_string().as_bytes());
+    absorb(&rtype.code().to_be_bytes());
+    for image in &images {
+        absorb(image);
+    }
+    // A second mixing round so the key cannot be peeled off linearly.
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd ^ key.0);
+    hash ^= hash >> 29;
+    hash
+}
+
+/// Builds the RRSIG record covering `(owner, rtype)` in `records`.
+pub fn make_rrsig(
+    key: ZoneKey,
+    zone: &Name,
+    owner: &Name,
+    rtype: RecordType,
+    ttl: u32,
+    records: &[Record],
+) -> Record {
+    Record::new(
+        owner.clone(),
+        ttl,
+        RData::Rrsig {
+            type_covered: rtype,
+            signer: zone.clone(),
+            signature: sign_rrset(key, owner, rtype, records),
+        },
+    )
+}
+
+fn rdata_image(record: &Record) -> Vec<u8> {
+    match &record.data {
+        RData::A(addr) => addr.octets().to_vec(),
+        RData::Ns(n) | RData::Cname(n) => n.to_string().into_bytes(),
+        RData::Txt(s) => s.clone().into_bytes(),
+        RData::Soa { mname, serial, minimum } => {
+            let mut v = mname.to_string().into_bytes();
+            v.extend_from_slice(&serial.to_be_bytes());
+            v.extend_from_slice(&minimum.to_be_bytes());
+            v
+        }
+        RData::Opt { udp_payload_size } => udp_payload_size.to_be_bytes().to_vec(),
+        RData::Rrsig { signature, .. } => signature.to_be_bytes().to_vec(),
+        RData::Dnskey { key_tag } => key_tag.to_be_bytes().to_vec(),
+        RData::Unknown { data, .. } => data.to_vec(),
+    }
+}
+
+/// The validating resolver's view of which zones are signed, and with what
+/// key (stands in for the DS chain from the root).
+#[derive(Debug, Clone, Default)]
+pub struct TrustAnchors {
+    anchors: HashMap<Name, ZoneKey>,
+}
+
+impl TrustAnchors {
+    /// An empty anchor set (validation vacuously passes for all zones).
+    pub fn new() -> Self {
+        TrustAnchors::default()
+    }
+
+    /// Registers `zone` as signed with `key`.
+    pub fn add(&mut self, zone: Name, key: ZoneKey) -> &mut Self {
+        self.anchors.insert(zone, key);
+        self
+    }
+
+    /// The key for the closest enclosing signed zone of `name`, if any.
+    pub fn key_for(&self, name: &Name) -> Option<(Name, ZoneKey)> {
+        name.self_and_ancestors()
+            .find_map(|zone| self.anchors.get(&zone).map(|k| (zone.clone(), *k)))
+    }
+
+    /// Validates the RRset `(owner, rtype)` inside `records` against the
+    /// accompanying RRSIG records.
+    ///
+    /// Returns `true` if the covering zone is unsigned (nothing to check) or
+    /// a valid signature is present; `false` if the zone is signed but the
+    /// signature is missing or wrong — the `sigfail` case of Table V.
+    pub fn validate(&self, owner: &Name, rtype: RecordType, records: &[Record]) -> bool {
+        let Some((_zone, key)) = self.key_for(owner) else {
+            return true; // unsigned zone: accept (insecure but valid)
+        };
+        let expected = sign_rrset(key, owner, rtype, records);
+        records.iter().any(|r| {
+            matches!(
+                &r.data,
+                RData::Rrsig { type_covered, signature, .. }
+                    if *type_covered == rtype && r.name == *owner && *signature == expected
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn owner() -> Name {
+        "time.cloudflare.com".parse().unwrap()
+    }
+
+    fn rrset() -> Vec<Record> {
+        vec![
+            Record::a(owner(), 300, Ipv4Addr::new(162, 159, 200, 1)),
+            Record::a(owner(), 300, Ipv4Addr::new(162, 159, 200, 123)),
+        ]
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_order_independent() {
+        let key = ZoneKey(0xABCD);
+        let mut records = rrset();
+        let sig1 = sign_rrset(key, &owner(), RecordType::A, &records);
+        records.reverse();
+        let sig2 = sign_rrset(key, &owner(), RecordType::A, &records);
+        assert_eq!(sig1, sig2);
+    }
+
+    #[test]
+    fn tampered_rrset_fails_validation() {
+        let key = ZoneKey(0x1111);
+        let zone: Name = "cloudflare.com".parse().unwrap();
+        let mut records = rrset();
+        records.push(make_rrsig(key, &zone, &owner(), RecordType::A, 300, &records));
+        let mut anchors = TrustAnchors::new();
+        anchors.add(zone, key);
+        assert!(anchors.validate(&owner(), RecordType::A, &records));
+        // Attacker swaps an address without being able to re-sign.
+        if let RData::A(addr) = &mut records[0].data {
+            *addr = Ipv4Addr::new(6, 6, 6, 6);
+        }
+        assert!(!anchors.validate(&owner(), RecordType::A, &records));
+    }
+
+    #[test]
+    fn unsigned_zone_passes_vacuously() {
+        let anchors = TrustAnchors::new();
+        assert!(anchors.validate(&owner(), RecordType::A, &rrset()));
+    }
+
+    #[test]
+    fn signed_zone_without_sig_fails() {
+        let key = ZoneKey(0x2222);
+        let mut anchors = TrustAnchors::new();
+        anchors.add("cloudflare.com".parse().unwrap(), key);
+        assert!(!anchors.validate(&owner(), RecordType::A, &rrset()));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let good = ZoneKey(1);
+        let bad = ZoneKey(2);
+        let zone: Name = "cloudflare.com".parse().unwrap();
+        let mut records = rrset();
+        records.push(make_rrsig(bad, &zone, &owner(), RecordType::A, 300, &records));
+        let mut anchors = TrustAnchors::new();
+        anchors.add(zone, good);
+        assert!(!anchors.validate(&owner(), RecordType::A, &records));
+    }
+
+    #[test]
+    fn anchor_lookup_walks_ancestors() {
+        let mut anchors = TrustAnchors::new();
+        anchors.add("com".parse().unwrap(), ZoneKey(5));
+        let (zone, key) = anchors.key_for(&owner()).unwrap();
+        assert_eq!(zone.to_string(), "com");
+        assert_eq!(key, ZoneKey(5));
+        assert!(anchors.key_for(&"pool.ntp.org".parse().unwrap()).is_none());
+    }
+}

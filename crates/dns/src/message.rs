@@ -1,0 +1,626 @@
+//! DNS message wire codec (RFC 1035 §4) with name compression.
+//!
+//! Byte layout matters here: the fragmentation attack splices the *tail* of
+//! a real response, so encoded messages must be stable and realistic —
+//! header, question, then answer/authority/additional sections, with
+//! compression pointers shrinking repeated names exactly the way real
+//! servers do.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::error::DnsError;
+use crate::name::Name;
+use crate::record::{RData, Record, RecordType};
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure (also: DNSSEC validation failure).
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Policy refusal.
+    Refused,
+    /// Any other code.
+    Other(u8),
+}
+
+impl Rcode {
+    /// Wire value (4 bits).
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(code) => code & 0xF,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(code: u8) -> Rcode {
+        match code & 0xF {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// Message header (counts are derived from the section vectors at encode
+/// time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Header {
+    /// Transaction ID — one half of the challenge-response entropy the
+    /// fragmentation attack sidesteps (it lives in the first fragment).
+    pub id: u16,
+    /// True for responses.
+    pub qr: bool,
+    /// Operation code (0 = standard query).
+    pub opcode: u8,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Authenticated data (DNSSEC validated).
+    pub ad: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+/// A question entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Message {
+    /// Header flags and ID.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section (glue, OPT).
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Builds a standard query.
+    pub fn query(id: u16, name: Name, qtype: RecordType, recursion_desired: bool) -> Message {
+        Message {
+            header: Header { id, rd: recursion_desired, ..Header::default() },
+            questions: vec![Question { name, qtype }],
+            ..Message::default()
+        }
+    }
+
+    /// Builds an empty response skeleton echoing `query`'s ID, question and
+    /// RD flag.
+    pub fn response_to(query: &Message) -> Message {
+        Message {
+            header: Header {
+                id: query.header.id,
+                qr: true,
+                rd: query.header.rd,
+                ..Header::default()
+            },
+            questions: query.questions.clone(),
+            ..Message::default()
+        }
+    }
+
+    /// The first question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// All A-record addresses in the answer section.
+    pub fn answer_addrs(&self) -> Vec<Ipv4Addr> {
+        self.answers.iter().filter_map(Record::as_a).collect()
+    }
+
+    /// Encodes the message to wire bytes with name compression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::Oversize`] if the result exceeds 65 535 bytes.
+    pub fn encode(&self) -> Result<Bytes, DnsError> {
+        let mut enc = Encoder::new();
+        enc.buf.put_u16(self.header.id);
+        let mut flags: u16 = 0;
+        if self.header.qr {
+            flags |= 0x8000;
+        }
+        flags |= u16::from(self.header.opcode & 0xF) << 11;
+        if self.header.aa {
+            flags |= 0x0400;
+        }
+        if self.header.tc {
+            flags |= 0x0200;
+        }
+        if self.header.rd {
+            flags |= 0x0100;
+        }
+        if self.header.ra {
+            flags |= 0x0080;
+        }
+        if self.header.ad {
+            flags |= 0x0020;
+        }
+        flags |= u16::from(self.header.rcode.code());
+        enc.buf.put_u16(flags);
+        enc.buf.put_u16(self.questions.len() as u16);
+        enc.buf.put_u16(self.answers.len() as u16);
+        enc.buf.put_u16(self.authorities.len() as u16);
+        enc.buf.put_u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            enc.put_name(&q.name);
+            enc.buf.put_u16(q.qtype.code());
+            enc.buf.put_u16(1); // class IN
+        }
+        for record in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            enc.put_record(record)?;
+        }
+        if enc.buf.len() > usize::from(u16::MAX) {
+            return Err(DnsError::Oversize { len: enc.buf.len() });
+        }
+        Ok(enc.buf.freeze())
+    }
+
+    /// Decodes a message from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError`] on truncation, bad pointers or malformed fields.
+    pub fn decode(data: &[u8]) -> Result<Message, DnsError> {
+        let mut dec = Decoder { data, pos: 0 };
+        if data.len() < 12 {
+            return Err(DnsError::Truncated { context: "header" });
+        }
+        let id = dec.u16()?;
+        let flags = dec.u16()?;
+        let qdcount = dec.u16()?;
+        let ancount = dec.u16()?;
+        let nscount = dec.u16()?;
+        let arcount = dec.u16()?;
+        let header = Header {
+            id,
+            qr: flags & 0x8000 != 0,
+            opcode: ((flags >> 11) & 0xF) as u8,
+            aa: flags & 0x0400 != 0,
+            tc: flags & 0x0200 != 0,
+            rd: flags & 0x0100 != 0,
+            ra: flags & 0x0080 != 0,
+            ad: flags & 0x0020 != 0,
+            rcode: Rcode::from_code(flags as u8),
+        };
+        let mut questions = Vec::with_capacity(usize::from(qdcount));
+        for _ in 0..qdcount {
+            let name = dec.read_name()?;
+            let qtype = RecordType::from_code(dec.u16()?);
+            let _class = dec.u16()?;
+            questions.push(Question { name, qtype });
+        }
+        let read_section = |dec: &mut Decoder<'_>, count: u16| -> Result<Vec<Record>, DnsError> {
+            let mut out = Vec::with_capacity(usize::from(count));
+            for _ in 0..count {
+                out.push(dec.read_record()?);
+            }
+            Ok(out)
+        };
+        let answers = read_section(&mut dec, ancount)?;
+        let authorities = read_section(&mut dec, nscount)?;
+        let additionals = read_section(&mut dec, arcount)?;
+        Ok(Message { header, questions, answers, authorities, additionals })
+    }
+}
+
+struct Encoder {
+    buf: BytesMut,
+    // Canonical dotted suffix -> offset of its first occurrence.
+    offsets: HashMap<String, u16>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder { buf: BytesMut::with_capacity(512), offsets: HashMap::new() }
+    }
+
+    fn put_name(&mut self, name: &Name) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix = labels[i..].join(".");
+            if let Some(&off) = self.offsets.get(&suffix) {
+                self.buf.put_u16(0xC000 | off);
+                return;
+            }
+            if self.buf.len() < 0x3FFF {
+                self.offsets.insert(suffix, self.buf.len() as u16);
+            }
+            let label = &labels[i];
+            self.buf.put_u8(label.len() as u8);
+            self.buf.put_slice(label.as_bytes());
+        }
+        self.buf.put_u8(0);
+    }
+
+    fn put_record(&mut self, record: &Record) -> Result<(), DnsError> {
+        self.put_name(&record.name);
+        self.buf.put_u16(record.rtype().code());
+        // Class: IN for everything except OPT, where EDNS0 reuses the class
+        // field as the advertised UDP payload size (RFC 6891).
+        match record.data {
+            RData::Opt { udp_payload_size } => self.buf.put_u16(udp_payload_size),
+            _ => self.buf.put_u16(1),
+        }
+        self.buf.put_u32(record.ttl);
+        let rdlen_pos = self.buf.len();
+        self.buf.put_u16(0); // placeholder
+        match &record.data {
+            RData::A(addr) => self.buf.put_slice(&addr.octets()),
+            RData::Ns(target) | RData::Cname(target) => self.put_name(target),
+            RData::Soa { mname, serial, minimum } => {
+                self.put_name(mname);
+                self.put_name(mname); // rname: reuse mname for compactness
+                self.buf.put_u32(*serial);
+                self.buf.put_u32(3600); // refresh
+                self.buf.put_u32(600); // retry
+                self.buf.put_u32(86_400); // expire
+                self.buf.put_u32(*minimum);
+            }
+            RData::Txt(text) => {
+                for chunk in text.as_bytes().chunks(255) {
+                    self.buf.put_u8(chunk.len() as u8);
+                    self.buf.put_slice(chunk);
+                }
+            }
+            RData::Opt { .. } => {}
+            RData::Rrsig { type_covered, signer, signature } => {
+                self.buf.put_u16(type_covered.code());
+                // Signer name, uncompressed per RFC 4034 §3.1.7.
+                for label in signer.labels() {
+                    self.buf.put_u8(label.len() as u8);
+                    self.buf.put_slice(label.as_bytes());
+                }
+                self.buf.put_u8(0);
+                self.buf.put_u64(*signature);
+            }
+            RData::Dnskey { key_tag } => self.buf.put_u16(*key_tag),
+            RData::Unknown { data, .. } => self.buf.put_slice(data),
+        }
+        let rdlen = self.buf.len() - rdlen_pos - 2;
+        if rdlen > usize::from(u16::MAX) {
+            return Err(DnsError::Oversize { len: rdlen });
+        }
+        self.buf[rdlen_pos..rdlen_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+        Ok(())
+    }
+}
+
+struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn u8(&mut self) -> Result<u8, DnsError> {
+        let b = *self.data.get(self.pos).ok_or(DnsError::Truncated { context: "u8" })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DnsError> {
+        let hi = self.u8()?;
+        let lo = self.u8()?;
+        Ok(u16::from_be_bytes([hi, lo]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DnsError> {
+        let hi = self.u16()?;
+        let lo = self.u16()?;
+        Ok((u32::from(hi) << 16) | u32::from(lo))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DnsError> {
+        if self.pos + n > self.data.len() {
+            return Err(DnsError::Truncated { context: "bytes" });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_name(&mut self) -> Result<Name, DnsError> {
+        let (name, next) = read_name_at(self.data, self.pos)?;
+        self.pos = next;
+        Ok(name)
+    }
+
+    fn read_record(&mut self) -> Result<Record, DnsError> {
+        let name = self.read_name()?;
+        let rtype = RecordType::from_code(self.u16()?);
+        let class_or_size = self.u16()?;
+        let ttl = self.u32()?;
+        let rdlen = usize::from(self.u16()?);
+        let rdata_start = self.pos;
+        if rdata_start + rdlen > self.data.len() {
+            return Err(DnsError::Truncated { context: "rdata" });
+        }
+        let data = match rtype {
+            RecordType::A => {
+                if rdlen != 4 {
+                    return Err(DnsError::BadField { field: "A rdlength" });
+                }
+                let b = self.take(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::Ns | RecordType::Cname => {
+                let (target, next) = read_name_at(self.data, rdata_start)?;
+                if next > rdata_start + rdlen {
+                    return Err(DnsError::Truncated { context: "name rdata" });
+                }
+                self.pos = rdata_start + rdlen;
+                if rtype == RecordType::Ns {
+                    RData::Ns(target)
+                } else {
+                    RData::Cname(target)
+                }
+            }
+            RecordType::Soa => {
+                let (mname, next) = read_name_at(self.data, rdata_start)?;
+                let (_rname, next) = read_name_at(self.data, next)?;
+                let mut tail = Decoder { data: self.data, pos: next };
+                let serial = tail.u32()?;
+                let _refresh = tail.u32()?;
+                let _retry = tail.u32()?;
+                let _expire = tail.u32()?;
+                let minimum = tail.u32()?;
+                self.pos = rdata_start + rdlen;
+                RData::Soa { mname, serial, minimum }
+            }
+            RecordType::Txt => {
+                let raw = self.take(rdlen)?;
+                let mut text = String::new();
+                let mut i = 0;
+                while i < raw.len() {
+                    let n = usize::from(raw[i]);
+                    i += 1;
+                    if i + n > raw.len() {
+                        return Err(DnsError::Truncated { context: "txt" });
+                    }
+                    text.push_str(&String::from_utf8_lossy(&raw[i..i + n]));
+                    i += n;
+                }
+                RData::Txt(text)
+            }
+            RecordType::Opt => {
+                self.take(rdlen)?;
+                RData::Opt { udp_payload_size: class_or_size }
+            }
+            RecordType::Rrsig => {
+                let mut tail = Decoder { data: self.data, pos: rdata_start };
+                let type_covered = RecordType::from_code(tail.u16()?);
+                let (signer, next) = read_name_at(self.data, tail.pos)?;
+                let mut sig_dec = Decoder { data: self.data, pos: next };
+                let hi = sig_dec.u32()?;
+                let lo = sig_dec.u32()?;
+                self.pos = rdata_start + rdlen;
+                RData::Rrsig {
+                    type_covered,
+                    signer,
+                    signature: (u64::from(hi) << 32) | u64::from(lo),
+                }
+            }
+            RecordType::Dnskey => {
+                let mut tail = Decoder { data: self.data, pos: rdata_start };
+                let key_tag = tail.u16()?;
+                self.pos = rdata_start + rdlen;
+                RData::Dnskey { key_tag }
+            }
+            RecordType::Unknown(code) => RData::Unknown {
+                rtype: code,
+                data: Bytes::copy_from_slice(self.take(rdlen)?),
+            },
+        };
+        Ok(Record { name, ttl, data })
+    }
+}
+
+/// Reads a possibly-compressed name starting at `pos`; returns the name and
+/// the position just after it (in the un-followed stream).
+fn read_name_at(data: &[u8], mut pos: usize) -> Result<(Name, usize), DnsError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut next_after = None;
+    let mut hops = 0;
+    loop {
+        let len = *data.get(pos).ok_or(DnsError::Truncated { context: "name" })?;
+        if len & 0xC0 == 0xC0 {
+            let lo = *data.get(pos + 1).ok_or(DnsError::Truncated { context: "pointer" })?;
+            let target = usize::from(u16::from_be_bytes([len & 0x3F, lo]));
+            if next_after.is_none() {
+                next_after = Some(pos + 2);
+            }
+            if target >= pos && hops == 0 {
+                return Err(DnsError::BadPointer); // forward pointer
+            }
+            hops += 1;
+            if hops > 32 {
+                return Err(DnsError::BadPointer);
+            }
+            pos = target;
+        } else if len == 0 {
+            pos += 1;
+            break;
+        } else {
+            let len = usize::from(len);
+            if len > 63 {
+                return Err(DnsError::BadName { reason: "label length > 63" });
+            }
+            if pos + 1 + len > data.len() {
+                return Err(DnsError::Truncated { context: "label" });
+            }
+            labels.push(String::from_utf8_lossy(&data[pos + 1..pos + 1 + len]).into_owned());
+            pos += 1 + len;
+        }
+    }
+    let name = Name::from_labels(labels)?;
+    Ok((name, next_after.unwrap_or(pos)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Name {
+        "pool.ntp.org".parse().unwrap()
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0x1234, pool(), RecordType::A, true);
+        let wire = q.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, q);
+        assert!(back.header.rd);
+        assert!(!back.header.qr);
+    }
+
+    #[test]
+    fn response_with_all_sections_round_trips() {
+        let q = Message::query(7, pool(), RecordType::A, true);
+        let mut resp = Message::response_to(&q);
+        resp.header.aa = true;
+        resp.answers.push(Record::a(pool(), 150, Ipv4Addr::new(192, 0, 2, 10)));
+        resp.answers.push(Record::a(pool(), 150, Ipv4Addr::new(192, 0, 2, 11)));
+        resp.authorities.push(Record::ns(pool(), 3600, "ns1.pool.ntp.org".parse().unwrap()));
+        resp.additionals.push(Record::a(
+            "ns1.pool.ntp.org".parse().unwrap(),
+            3600,
+            Ipv4Addr::new(198, 51, 100, 1),
+        ));
+        let wire = resp.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.answer_addrs().len(), 2);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(7, pool(), RecordType::A, true);
+        let mut resp = Message::response_to(&q);
+        for i in 0..4 {
+            resp.answers.push(Record::a(pool(), 150, Ipv4Addr::new(192, 0, 2, i)));
+        }
+        let wire = resp.encode().unwrap();
+        // Uncompressed: each answer name costs 14 bytes; compressed: 2.
+        // Header 12 + question (14+4) + 4 * (2+2+2+4+2+4) = 94.
+        assert_eq!(wire.len(), 94);
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back.answers.len(), 4);
+        assert!(back.answers.iter().all(|r| r.name == pool()));
+    }
+
+    #[test]
+    fn soa_and_txt_round_trip() {
+        let mut m = Message::query(1, pool(), RecordType::Soa, false);
+        m.header.qr = true;
+        m.authorities.push(Record::new(
+            pool(),
+            300,
+            RData::Soa { mname: "ns1.pool.ntp.org".parse().unwrap(), serial: 42, minimum: 60 },
+        ));
+        m.additionals.push(Record::new(pool(), 60, RData::Txt("hello world".into())));
+        let back = Message::decode(&m.encode().unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rrsig_and_dnskey_round_trip() {
+        let mut m = Message::query(1, pool(), RecordType::A, false);
+        m.header.qr = true;
+        m.answers.push(Record::a(pool(), 150, Ipv4Addr::new(1, 2, 3, 4)));
+        m.answers.push(Record::new(
+            pool(),
+            150,
+            RData::Rrsig {
+                type_covered: RecordType::A,
+                signer: pool(),
+                signature: 0xDEAD_BEEF_CAFE_F00D,
+            },
+        ));
+        m.additionals.push(Record::new(pool(), 150, RData::Dnskey { key_tag: 257 }));
+        let back = Message::decode(&m.encode().unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn opt_record_carries_udp_size_in_class() {
+        let mut m = Message::query(9, pool(), RecordType::A, true);
+        m.additionals.push(Record::new(Name::root(), 0, RData::Opt { udp_payload_size: 4096 }));
+        let back = Message::decode(&m.encode().unwrap()).unwrap();
+        match back.additionals[0].data {
+            RData::Opt { udp_payload_size } => assert_eq!(udp_payload_size, 4096),
+            ref other => panic!("expected OPT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // Craft: header + a name that points at itself.
+        let mut raw = vec![0u8; 12];
+        raw[5] = 1; // qdcount = 1
+        raw.extend_from_slice(&[0xC0, 12]); // pointer to itself
+        raw.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(Message::decode(&raw), Err(DnsError::BadPointer)));
+    }
+
+    #[test]
+    fn truncated_rdata_rejected() {
+        let q = Message::query(7, pool(), RecordType::A, true);
+        let mut resp = Message::response_to(&q);
+        resp.answers.push(Record::a(pool(), 150, Ipv4Addr::new(1, 2, 3, 4)));
+        let wire = resp.encode().unwrap();
+        let cut = &wire[..wire.len() - 2];
+        assert!(Message::decode(cut).is_err());
+    }
+
+    #[test]
+    fn unknown_type_passthrough() {
+        let mut m = Message::query(3, pool(), RecordType::Unknown(250), false);
+        m.header.qr = true;
+        m.answers.push(Record::new(
+            pool(),
+            10,
+            RData::Unknown { rtype: 250, data: Bytes::from_static(&[9, 9, 9]) },
+        ));
+        let back = Message::decode(&m.encode().unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,222 @@
+//! DNS domain names: case-insensitive label sequences with wire encoding
+//! (RFC 1035 §3.1) including compression-pointer support.
+
+use core::fmt;
+use std::str::FromStr;
+
+use crate::error::DnsError;
+
+/// Maximum total wire length of a name.
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum length of a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// A fully-qualified DNS name. Labels are stored lower-cased (DNS name
+/// comparison is case-insensitive) without the trailing root dot.
+///
+/// ```
+/// use dns::name::Name;
+///
+/// let name: Name = "POOL.NTP.ORG".parse().unwrap();
+/// assert_eq!(name.to_string(), "pool.ntp.org");
+/// assert!(name.is_subdomain_of(&"ntp.org".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The DNS root (empty) name.
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from labels, validating lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::BadName`] on empty/oversized labels or names.
+    pub fn from_labels<I, S>(labels: I) -> Result<Self, DnsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Vec::new();
+        let mut wire_len = 1; // root byte
+        for label in labels {
+            let label = label.as_ref();
+            if label.is_empty() || label.len() > MAX_LABEL_LEN {
+                return Err(DnsError::BadName { reason: "label length out of range" });
+            }
+            wire_len += 1 + label.len();
+            if wire_len > MAX_NAME_LEN {
+                return Err(DnsError::BadName { reason: "name exceeds 255 bytes" });
+            }
+            out.push(label.to_ascii_lowercase());
+        }
+        Ok(Name { labels: out })
+    }
+
+    /// The labels, most-significant last (`["pool", "ntp", "org"]`).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// True if `self` is `other` or lies underneath it
+    /// (`a.pool.ntp.org ⊑ ntp.org`). Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(other.labels.iter().rev())
+            .all(|(a, b)| a == b)
+    }
+
+    /// The parent name (one label stripped); `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// Returns a child of this name: `label` prepended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::BadName`] if the label is invalid.
+    pub fn child(&self, label: &str) -> Result<Name, DnsError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_owned());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Wire length when encoded without compression.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Iterates over the name and all its ancestors up to the root:
+    /// `pool.ntp.org`, `ntp.org`, `org`, `.`.
+    pub fn self_and_ancestors(&self) -> impl Iterator<Item = Name> + '_ {
+        (0..=self.labels.len()).map(move |skip| Name { labels: self.labels[skip..].to_vec() })
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+impl FromStr for Name {
+    type Err = DnsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        Name::from_labels(s.split('.'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n: Name = "Pool.NTP.org.".parse().unwrap();
+        assert_eq!(n.to_string(), "pool.ntp.org");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn root_parses_from_dot_and_empty() {
+        assert!(Name::from_str(".").unwrap().is_root());
+        assert!(Name::from_str("").unwrap().is_root());
+        assert_eq!(Name::root().to_string(), ".");
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let pool: Name = "pool.ntp.org".parse().unwrap();
+        let org: Name = "org".parse().unwrap();
+        let child: Name = "0.pool.ntp.org".parse().unwrap();
+        assert!(pool.is_subdomain_of(&pool));
+        assert!(pool.is_subdomain_of(&org));
+        assert!(child.is_subdomain_of(&pool));
+        assert!(!org.is_subdomain_of(&pool));
+        assert!(pool.is_subdomain_of(&Name::root()));
+        // Same-length different name is not a subdomain.
+        let other: Name = "pool.ntp.net".parse().unwrap();
+        assert!(!other.is_subdomain_of(&pool));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let pool: Name = "pool.ntp.org".parse().unwrap();
+        assert_eq!(pool.parent().unwrap().to_string(), "ntp.org");
+        assert_eq!(pool.child("0").unwrap().to_string(), "0.pool.ntp.org");
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn oversize_label_rejected() {
+        let long = "x".repeat(64);
+        assert!(Name::from_labels([long.as_str()]).is_err());
+        assert!(Name::from_labels(["ok", ""]).is_err());
+    }
+
+    #[test]
+    fn oversize_name_rejected() {
+        let label = "a".repeat(63);
+        let labels = vec![label; 5]; // 5 * 64 + 1 > 255
+        assert!(Name::from_labels(labels).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_equality_via_lowercasing() {
+        let a: Name = "NS1.Pool.Ntp.Org".parse().unwrap();
+        let b: Name = "ns1.pool.ntp.org".parse().unwrap();
+        assert_eq!(a, b);
+        use std::collections::HashSet;
+        let set: HashSet<Name> = [a].into_iter().collect();
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn ancestors_walk() {
+        let n: Name = "a.b.c".parse().unwrap();
+        let walk: Vec<String> = n.self_and_ancestors().map(|x| x.to_string()).collect();
+        assert_eq!(walk, vec!["a.b.c", "b.c", "c", "."]);
+    }
+
+    #[test]
+    fn wire_len_counts_length_bytes_and_root() {
+        let n: Name = "pool.ntp.org".parse().unwrap();
+        // 1+4 + 1+3 + 1+3 + 1 = 14
+        assert_eq!(n.wire_len(), 14);
+        assert_eq!(Name::root().wire_len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Resource records: types, RDATA variants and record structures.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use crate::name::Name;
+
+/// Record types modelled by this crate. DNSSEC types implement the
+//  simplified "DNSSEC-lite" scheme described in [`crate::dnssec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Authoritative nameserver.
+    Ns,
+    /// Canonical name alias.
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Free-form text.
+    Txt,
+    /// EDNS0 pseudo-record.
+    Opt,
+    /// DNSSEC-lite signature over an RRset.
+    Rrsig,
+    /// DNSSEC-lite zone key.
+    Dnskey,
+    /// Anything else, carried opaquely.
+    Unknown(u16),
+}
+
+impl RecordType {
+    /// Wire value.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Txt => 16,
+            RecordType::Opt => 41,
+            RecordType::Rrsig => 46,
+            RecordType::Dnskey => 48,
+            RecordType::Unknown(code) => code,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(code: u16) -> RecordType {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            16 => RecordType::Txt,
+            41 => RecordType::Opt,
+            46 => RecordType::Rrsig,
+            48 => RecordType::Dnskey,
+            other => RecordType::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::Ns => write!(f, "NS"),
+            RecordType::Cname => write!(f, "CNAME"),
+            RecordType::Soa => write!(f, "SOA"),
+            RecordType::Txt => write!(f, "TXT"),
+            RecordType::Opt => write!(f, "OPT"),
+            RecordType::Rrsig => write!(f, "RRSIG"),
+            RecordType::Dnskey => write!(f, "DNSKEY"),
+            RecordType::Unknown(code) => write!(f, "TYPE{code}"),
+        }
+    }
+}
+
+/// Typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// A nameserver host name.
+    Ns(Name),
+    /// An alias target.
+    Cname(Name),
+    /// Start-of-authority (only the fields the simulation uses).
+    Soa {
+        /// Primary nameserver.
+        mname: Name,
+        /// Zone serial.
+        serial: u32,
+        /// Negative-caching TTL.
+        minimum: u32,
+    },
+    /// Text data.
+    Txt(String),
+    /// EDNS0: advertised UDP payload size travels in the class field, but
+    /// this simulator keeps it in the RDATA for simplicity of the codec.
+    Opt {
+        /// Advertised maximum UDP payload size.
+        udp_payload_size: u16,
+    },
+    /// DNSSEC-lite signature: covers the RRset `(owner, type_covered)` in
+    /// the same message, made with the zone key of `signer`.
+    Rrsig {
+        /// The RRset type this signature covers.
+        type_covered: RecordType,
+        /// The signing zone.
+        signer: Name,
+        /// 64-bit keyed tag (see [`crate::dnssec::sign_rrset`]).
+        signature: u64,
+    },
+    /// DNSSEC-lite public key marker.
+    Dnskey {
+        /// Key identifier.
+        key_tag: u16,
+    },
+    /// Opaque RDATA for unknown types.
+    Unknown {
+        /// The record type code.
+        rtype: u16,
+        /// Raw bytes.
+        data: Bytes,
+    },
+}
+
+impl RData {
+    /// The record type this RDATA belongs to.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Soa { .. } => RecordType::Soa,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Opt { .. } => RecordType::Opt,
+            RData::Rrsig { .. } => RecordType::Rrsig,
+            RData::Dnskey { .. } => RecordType::Dnskey,
+            RData::Unknown { rtype, .. } => RecordType::Unknown(*rtype),
+        }
+    }
+}
+
+/// A resource record (class is always IN in this simulator).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Typed payload.
+    pub data: RData,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(name: Name, ttl: u32, data: RData) -> Self {
+        Record { name, ttl, data }
+    }
+
+    /// Convenience constructor for an A record.
+    pub fn a(name: Name, ttl: u32, addr: Ipv4Addr) -> Self {
+        Record::new(name, ttl, RData::A(addr))
+    }
+
+    /// Convenience constructor for an NS record.
+    pub fn ns(name: Name, ttl: u32, target: Name) -> Self {
+        Record::new(name, ttl, RData::Ns(target))
+    }
+
+    /// The record's type.
+    pub fn rtype(&self) -> RecordType {
+        self.data.rtype()
+    }
+
+    /// The IPv4 address if this is an A record.
+    pub fn as_a(&self) -> Option<Ipv4Addr> {
+        match self.data {
+            RData::A(addr) => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The NS target if this is an NS record.
+    pub fn as_ns(&self) -> Option<&Name> {
+        match &self.data {
+            RData::Ns(target) => Some(target),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} IN {}", self.name, self.ttl, self.rtype())?;
+        match &self.data {
+            RData::A(addr) => write!(f, " {addr}"),
+            RData::Ns(t) | RData::Cname(t) => write!(f, " {t}"),
+            RData::Txt(s) => write!(f, " \"{s}\""),
+            RData::Soa { mname, serial, .. } => write!(f, " {mname} {serial}"),
+            RData::Opt { udp_payload_size } => write!(f, " size={udp_payload_size}"),
+            RData::Rrsig { type_covered, signer, signature } => {
+                write!(f, " covers={type_covered} signer={signer} sig={signature:#018x}")
+            }
+            RData::Dnskey { key_tag } => write!(f, " tag={key_tag}"),
+            RData::Unknown { data, .. } => write!(f, " \\# {}", data.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Txt,
+            RecordType::Opt,
+            RecordType::Rrsig,
+            RecordType::Dnskey,
+            RecordType::Unknown(999),
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn record_accessors() {
+        let name: Name = "pool.ntp.org".parse().unwrap();
+        let a = Record::a(name.clone(), 150, Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(a.rtype(), RecordType::A);
+        assert_eq!(a.as_a(), Some(Ipv4Addr::new(192, 0, 2, 1)));
+        assert!(a.as_ns().is_none());
+        let ns = Record::ns(name.clone(), 3600, "ns1.pool.ntp.org".parse().unwrap());
+        assert_eq!(ns.as_ns().unwrap().to_string(), "ns1.pool.ntp.org");
+    }
+
+    #[test]
+    fn display_is_zonefile_like() {
+        let r = Record::a("a.b".parse().unwrap(), 60, Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(r.to_string(), "a.b 60 IN A 1.2.3.4");
+    }
+}

@@ -1,0 +1,576 @@
+//! The caching recursive resolver — the victim of the poisoning attack.
+//!
+//! Implements the behaviours the paper's attack chain depends on:
+//!
+//! * random source ports and TXIDs (challenge-response entropy the
+//!   fragment attack bypasses — both live in the first fragment);
+//! * caching of answer, authority **and glue** records subject to a
+//!   bailiwick check (the poisoned glue is in-bailiwick, so it caches);
+//! * following cached delegations, so a poisoned `nsX.pool.ntp.org` glue
+//!   record redirects future `pool.ntp.org` resolutions to the attacker's
+//!   nameserver;
+//! * RD=0 cache-only answers (the snooping primitive of Table IV);
+//! * optional DNSSEC-lite validation (the countermeasure of §IX).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netsim::prelude::*;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+use crate::auth::DNS_PORT;
+use crate::cache::DnsCache;
+use crate::dnssec::TrustAnchors;
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::record::{Record, RecordType};
+
+/// Configuration of a [`Resolver`].
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Answer RD=0 queries from cache only (RFC-compliant). Resolvers that
+    /// ignore the RD bit are excluded by the scan's verification step.
+    pub respects_rd: bool,
+    /// Perform DNSSEC-lite validation against `anchors`.
+    pub validating: bool,
+    /// Trust anchors used when `validating`.
+    pub anchors: TrustAnchors,
+    /// Cap on cached TTLs (BIND default: 7 days).
+    pub max_cache_ttl: u32,
+    /// Timeout before retrying an upstream query.
+    pub upstream_timeout: SimDuration,
+    /// Upstream retransmissions before SERVFAIL.
+    pub max_retries: u32,
+    /// Randomise source ports (RFC 5452). When false, ports are sequential
+    /// from 2048 — the pre-Kaminsky configuration for the ablation bench.
+    pub randomize_ports: bool,
+    /// Randomise TXIDs. When false, sequential from 1.
+    pub randomize_txid: bool,
+    /// Use cached NS + glue for subsequent resolutions (standard resolver
+    /// behaviour; turning it off pins the resolver to its hints and defeats
+    /// the glue-poisoning redirection).
+    pub follow_cached_delegations: bool,
+    /// Maximum delegation-chasing depth.
+    pub max_depth: u32,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            respects_rd: true,
+            validating: false,
+            anchors: TrustAnchors::new(),
+            max_cache_ttl: 7 * 86_400,
+            upstream_timeout: SimDuration::from_secs(2),
+            max_retries: 2,
+            randomize_ports: true,
+            randomize_txid: true,
+            follow_cached_delegations: true,
+            max_depth: 4,
+        }
+    }
+}
+
+/// Counters exposed by a [`Resolver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries received from clients.
+    pub client_queries: u64,
+    /// Client queries answered from cache.
+    pub cache_hits: u64,
+    /// Queries sent upstream.
+    pub upstream_queries: u64,
+    /// Upstream timeouts.
+    pub timeouts: u64,
+    /// SERVFAIL responses returned.
+    pub servfails: u64,
+    /// RRsets rejected by DNSSEC-lite validation.
+    pub validation_failures: u64,
+    /// Records discarded by the bailiwick check.
+    pub bailiwick_rejects: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ClientRef {
+    addr: Ipv4Addr,
+    port: u16,
+    txid: u16,
+    rd: bool,
+}
+
+#[derive(Debug)]
+struct Pending {
+    qname: Name,
+    qtype: RecordType,
+    clients: Vec<ClientRef>,
+    zone: Name,
+    server: Ipv4Addr,
+    sport: u16,
+    txid: u16,
+    attempts: u32,
+    depth: u32,
+}
+
+/// A caching recursive resolver host listening on UDP port 53.
+#[derive(Debug)]
+pub struct Resolver {
+    config: ResolverConfig,
+    cache: DnsCache,
+    hints: Vec<(Name, Vec<Ipv4Addr>)>,
+    pending: HashMap<u64, Pending>,
+    next_id: u64,
+    seq_port: u16,
+    seq_txid: u16,
+    /// Counters.
+    pub stats: ResolverStats,
+}
+
+impl Resolver {
+    /// Creates a resolver with root-hint style knowledge: `hints` maps a
+    /// zone apex to the addresses of its authoritative servers.
+    pub fn new(config: ResolverConfig, hints: Vec<(Name, Vec<Ipv4Addr>)>) -> Self {
+        let cache = DnsCache::new(config.max_cache_ttl);
+        Resolver {
+            config,
+            cache,
+            hints,
+            pending: HashMap::new(),
+            next_id: 1,
+            seq_port: 2048,
+            seq_txid: 1,
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// Read access to the cache (tests and the snooping scanners).
+    pub fn cache(&self) -> &DnsCache {
+        &self.cache
+    }
+
+    /// Mutable access to the cache (scenario setup, e.g. pre-priming).
+    pub fn cache_mut(&mut self) -> &mut DnsCache {
+        &mut self.cache
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    fn alloc_port(&mut self, ctx: &mut Ctx<'_>) -> u16 {
+        if self.config.randomize_ports {
+            ctx.rng().random_range(1024..=u16::MAX)
+        } else {
+            self.seq_port = self.seq_port.wrapping_add(1).max(1024);
+            self.seq_port
+        }
+    }
+
+    fn alloc_txid(&mut self, ctx: &mut Ctx<'_>) -> u16 {
+        if self.config.randomize_txid {
+            ctx.rng().random()
+        } else {
+            self.seq_txid = self.seq_txid.wrapping_add(1);
+            self.seq_txid
+        }
+    }
+
+    /// Picks the nameserver to ask for `qname`: cached delegations first
+    /// (longest match), then configured hints.
+    fn find_nameserver(&self, now: SimTime, ctx: &mut Ctx<'_>, qname: &Name) -> Option<(Name, Ipv4Addr)> {
+        for zone in qname.self_and_ancestors() {
+            if self.config.follow_cached_delegations {
+                if let Some(hit) = self.cache.lookup(now, &zone, RecordType::Ns) {
+                    let addrs: Vec<Ipv4Addr> = hit
+                        .records
+                        .iter()
+                        .filter_map(Record::as_ns)
+                        .filter_map(|target| {
+                            self.cache
+                                .lookup(now, target, RecordType::A)
+                                .and_then(|glue| glue.records.first().and_then(Record::as_a))
+                        })
+                        .collect();
+                    if let Some(&addr) = addrs.choose(ctx.rng()) {
+                        return Some((zone.clone(), addr));
+                    }
+                }
+            }
+            if let Some((_, addrs)) = self.hints.iter().find(|(z, _)| *z == zone) {
+                if let Some(&addr) = addrs.choose(ctx.rng()) {
+                    return Some((zone.clone(), addr));
+                }
+            }
+        }
+        None
+    }
+
+    fn send_upstream(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let Some(p) = self.pending.get_mut(&id) else { return };
+        let q = Message::query(p.txid, p.qname.clone(), p.qtype, false);
+        let Ok(wire) = q.encode() else { return };
+        self.stats.upstream_queries += 1;
+        let (server, sport) = (p.server, p.sport);
+        ctx.send_udp(server, sport, DNS_PORT, wire);
+        let attempts = p.attempts;
+        ctx.set_timer(self.config.upstream_timeout, encode_timer(id, attempts));
+    }
+
+    fn reply_to_clients(&mut self, ctx: &mut Ctx<'_>, id: u64, answers: Vec<Record>, rcode: Rcode) {
+        let Some(p) = self.pending.remove(&id) else { return };
+        if rcode == Rcode::ServFail {
+            self.stats.servfails += 1;
+        }
+        for client in p.clients {
+            let mut resp = Message::query(client.txid, p.qname.clone(), p.qtype, client.rd);
+            resp.header.qr = true;
+            resp.header.ra = true;
+            resp.header.rcode = rcode;
+            resp.answers = answers.clone();
+            if let Ok(wire) = resp.encode() {
+                ctx.send_udp(client.addr, DNS_PORT, client.port, wire);
+            }
+        }
+    }
+
+    fn answer_from_cache_only(&mut self, ctx: &mut Ctx<'_>, d: &Datagram, query: &Message) {
+        let Some(q) = query.question() else { return };
+        let mut resp = Message::response_to(query);
+        resp.header.ra = true;
+        if let Some(hit) = self.cache.lookup(ctx.now(), &q.name, q.qtype) {
+            self.stats.cache_hits += 1;
+            resp.answers = hit.records;
+        }
+        if let Ok(wire) = resp.encode() {
+            ctx.send_udp(d.src, DNS_PORT, d.src_port, wire);
+        }
+    }
+
+    fn handle_client_query(&mut self, ctx: &mut Ctx<'_>, d: &Datagram, query: Message) {
+        self.stats.client_queries += 1;
+        let Some(q) = query.question().cloned() else { return };
+        if !query.header.rd && self.config.respects_rd {
+            self.answer_from_cache_only(ctx, d, &query);
+            return;
+        }
+        if let Some(hit) = self.cache.lookup(ctx.now(), &q.name, q.qtype) {
+            self.stats.cache_hits += 1;
+            let mut resp = Message::response_to(&query);
+            resp.header.ra = true;
+            resp.answers = hit.records;
+            if let Ok(wire) = resp.encode() {
+                ctx.send_udp(d.src, DNS_PORT, d.src_port, wire);
+            }
+            return;
+        }
+        let client = ClientRef { addr: d.src, port: d.src_port, txid: query.header.id, rd: query.header.rd };
+        // Join an in-flight identical resolution, if any.
+        if let Some((_, p)) = self
+            .pending
+            .iter_mut()
+            .find(|(_, p)| p.qname == q.name && p.qtype == q.qtype)
+        {
+            p.clients.push(client);
+            return;
+        }
+        let Some((zone, server)) = self.find_nameserver(ctx.now(), ctx, &q.name) else {
+            // No path to an authority: immediate SERVFAIL.
+            let mut resp = Message::response_to(&query);
+            resp.header.ra = true;
+            resp.header.rcode = Rcode::ServFail;
+            self.stats.servfails += 1;
+            if let Ok(wire) = resp.encode() {
+                ctx.send_udp(d.src, DNS_PORT, d.src_port, wire);
+            }
+            return;
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let sport = self.alloc_port(ctx);
+        let txid = self.alloc_txid(ctx);
+        self.pending.insert(
+            id,
+            Pending {
+                qname: q.name,
+                qtype: q.qtype,
+                clients: vec![client],
+                zone,
+                server,
+                sport,
+                txid,
+                attempts: 0,
+                depth: 0,
+            },
+        );
+        self.send_upstream(ctx, id);
+    }
+
+    fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, d: &Datagram, resp: Message) {
+        // Match pending by (source address, destination port, TXID) — the
+        // challenge-response triple of RFC 5452.
+        let Some((&id, _)) = self.pending.iter().find(|(_, p)| {
+            p.server == d.src && p.sport == d.dst_port && p.txid == resp.header.id
+        }) else {
+            return; // unsolicited (a blind-spoofing miss)
+        };
+        let now = ctx.now();
+        let (zone, qname, qtype, depth) = {
+            let p = &self.pending[&id];
+            (p.zone.clone(), p.qname.clone(), p.qtype, p.depth)
+        };
+        // Bailiwick: discard records outside the zone we queried.
+        let mut in_bailiwick = |records: &[Record]| -> Vec<Record> {
+            let (keep, reject): (Vec<_>, Vec<_>) =
+                records.iter().cloned().partition(|r| r.name.is_subdomain_of(&zone));
+            self.stats.bailiwick_rejects += reject.len() as u64;
+            keep
+        };
+        let answers = in_bailiwick(&resp.answers);
+        let authorities = in_bailiwick(&resp.authorities);
+        let additionals = in_bailiwick(&resp.additionals);
+
+        // Group records into RRsets for validation and caching.
+        let mut rrsets: HashMap<(Name, RecordType), Vec<Record>> = HashMap::new();
+        for r in answers.iter().chain(&authorities).chain(&additionals) {
+            if r.rtype() == RecordType::Opt {
+                continue;
+            }
+            rrsets.entry((r.name.clone(), r.rtype())).or_default().push(r.clone());
+        }
+        if self.config.validating {
+            // Validate answer-section RRsets under signed zones. Glue and
+            // authority data are not validated — matching real DNSSEC,
+            // where glue is unsigned; this is precisely why the glue
+            // poisoning lands even on validating resolvers, while the
+            // *final* forged answer for a signed name still fails here.
+            let answer_keys: std::collections::HashSet<(Name, RecordType)> =
+                answers.iter().map(|r| (r.name.clone(), r.rtype())).collect();
+            for ((name, rtype), set) in &rrsets {
+                if *rtype == RecordType::Rrsig || !answer_keys.contains(&(name.clone(), *rtype)) {
+                    continue;
+                }
+                let mut with_sigs = set.clone();
+                if let Some(sigs) = rrsets.get(&(name.clone(), RecordType::Rrsig)) {
+                    with_sigs.extend(sigs.iter().cloned());
+                }
+                if !self.config.anchors.validate(name, *rtype, &with_sigs) {
+                    self.stats.validation_failures += 1;
+                    self.reply_to_clients(ctx, id, Vec::new(), Rcode::ServFail);
+                    return;
+                }
+            }
+        }
+        for ((name, rtype), set) in rrsets {
+            self.cache.insert(now, name, rtype, set);
+        }
+
+        // Did we get an answer for the question?
+        let matching: Vec<Record> = answers
+            .iter()
+            .filter(|r| r.name == qname && (r.rtype() == qtype || r.rtype() == RecordType::Rrsig))
+            .cloned()
+            .collect();
+        if matching.iter().any(|r| r.rtype() == qtype) {
+            self.reply_to_clients(ctx, id, matching, Rcode::NoError);
+            return;
+        }
+        // Delegation? Follow NS records for a subzone of our current zone.
+        let delegation: Option<(Name, Ipv4Addr)> = authorities
+            .iter()
+            .filter_map(|r| {
+                let target = r.as_ns()?;
+                if !qname.is_subdomain_of(&r.name) || r.name.label_count() <= zone.label_count() {
+                    return None;
+                }
+                let addr = additionals
+                    .iter()
+                    .find(|g| g.name == *target && g.rtype() == RecordType::A)
+                    .and_then(Record::as_a)
+                    .or_else(|| {
+                        self.cache
+                            .lookup(now, target, RecordType::A)
+                            .and_then(|h| h.records.first().and_then(Record::as_a))
+                    })?;
+                Some((r.name.clone(), addr))
+            })
+            .next();
+        if let Some((subzone, addr)) = delegation {
+            if depth < self.config.max_depth {
+                let sport = self.alloc_port(ctx);
+                let txid = self.alloc_txid(ctx);
+                let p = self.pending.get_mut(&id).expect("pending exists");
+                p.zone = subzone;
+                p.server = addr;
+                p.sport = sport;
+                p.txid = txid;
+                p.attempts = 0;
+                p.depth += 1;
+                self.send_upstream(ctx, id);
+                return;
+            }
+        }
+        let rcode = if resp.header.rcode == Rcode::NxDomain { Rcode::NxDomain } else { Rcode::NoError };
+        self.reply_to_clients(ctx, id, matching, rcode);
+    }
+}
+
+fn encode_timer(id: u64, attempts: u32) -> TimerToken {
+    (id << 8) | u64::from(attempts & 0xFF)
+}
+
+fn decode_timer(token: TimerToken) -> (u64, u32) {
+    (token >> 8, (token & 0xFF) as u32)
+}
+
+impl Host for Resolver {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: &Datagram) {
+        let Ok(msg) = Message::decode(&d.payload) else { return };
+        if msg.header.qr {
+            self.handle_upstream_response(ctx, d, msg);
+        } else if d.dst_port == DNS_PORT {
+            self.handle_client_query(ctx, d, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        let (id, attempts) = decode_timer(token);
+        let Some(p) = self.pending.get_mut(&id) else { return };
+        if p.attempts != attempts {
+            return; // stale timer from an earlier attempt
+        }
+        self.stats.timeouts += 1;
+        p.attempts += 1;
+        if p.attempts > self.config.max_retries {
+            self.reply_to_clients(ctx, id, Vec::new(), Rcode::ServFail);
+            return;
+        }
+        // Re-randomise the challenge and re-select the nameserver on retry
+        // (a dead NS must not wedge the resolution).
+        let qname = p.qname.clone();
+        let sport = self.alloc_port(ctx);
+        let txid = self.alloc_txid(ctx);
+        let reselected = self.find_nameserver(ctx.now(), ctx, &qname);
+        let p = self.pending.get_mut(&id).expect("pending exists");
+        p.sport = sport;
+        p.txid = txid;
+        if let Some((zone, server)) = reselected {
+            p.zone = zone;
+            p.server = server;
+        }
+        self.send_upstream(ctx, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthServer;
+    use crate::stub::lookup_once;
+    use crate::zone::pool_zone;
+
+    const RESOLVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+    const NS: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+
+    fn pool_name() -> Name {
+        "pool.ntp.org".parse().unwrap()
+    }
+
+    fn build_sim(config: ResolverConfig) -> Simulator {
+        let mut sim = Simulator::with_topology(
+            11,
+            Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(10))),
+        );
+        let servers: Vec<Ipv4Addr> = (1..=8).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect();
+        let zone = pool_zone(servers, 4, NS);
+        let ns_list =
+            crate::auth::spawn_zone_nameservers(&mut sim, &zone, OsProfile::nameserver(548));
+        let resolver = Resolver::new(config, vec![(pool_name(), ns_list)]);
+        sim.add_host(RESOLVER, OsProfile::linux(), Box::new(resolver)).unwrap();
+        sim
+    }
+
+    #[test]
+    fn recursive_resolution_and_caching() {
+        let mut sim = build_sim(ResolverConfig::default());
+        let addrs = lookup_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        assert_eq!(addrs.len(), 4);
+        let r: &Resolver = sim.host(RESOLVER).unwrap();
+        assert_eq!(r.stats.client_queries, 1);
+        assert_eq!(r.stats.cache_hits, 0);
+        assert!(r.cache().contains(sim.now(), &pool_name(), RecordType::A));
+        // NS + glue must be cached too (that is what gets poisoned later).
+        assert!(r.cache().contains(sim.now(), &pool_name(), RecordType::Ns));
+        assert!(r
+            .cache()
+            .contains(sim.now(), &"ns1.pool.ntp.org".parse().unwrap(), RecordType::A));
+    }
+
+    #[test]
+    fn second_lookup_hits_cache() {
+        let mut sim = build_sim(ResolverConfig::default());
+        let first = lookup_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        let second = lookup_once(&mut sim, "10.0.0.101".parse().unwrap(), RESOLVER, &pool_name());
+        assert_eq!(first, second, "cached answer must be identical");
+        let r: &Resolver = sim.host(RESOLVER).unwrap();
+        assert_eq!(r.stats.cache_hits, 1);
+        assert_eq!(r.stats.upstream_queries, 1);
+    }
+
+    #[test]
+    fn rd0_answers_from_cache_only() {
+        let mut sim = build_sim(ResolverConfig::default());
+        // Snoop before priming: no answer.
+        let snooped = crate::stub::snoop_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        assert!(snooped.is_none(), "uncached record must not be revealed");
+        lookup_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        let snooped = crate::stub::snoop_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        let (addrs, ttl) = snooped.expect("cached record is revealed");
+        assert_eq!(addrs.len(), 4);
+        assert!(ttl <= 150);
+        let r: &Resolver = sim.host(RESOLVER).unwrap();
+        assert_eq!(r.stats.upstream_queries, 1, "RD=0 must never recurse");
+    }
+
+    #[test]
+    fn servfail_when_no_hints() {
+        let mut sim = Simulator::new(3);
+        let resolver = Resolver::new(ResolverConfig::default(), vec![]);
+        sim.add_host(RESOLVER, OsProfile::linux(), Box::new(resolver)).unwrap();
+        let addrs = lookup_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        assert!(addrs.is_empty());
+        let r: &Resolver = sim.host(RESOLVER).unwrap();
+        assert_eq!(r.stats.servfails, 1);
+    }
+
+    #[test]
+    fn upstream_timeout_retries_then_servfails() {
+        let mut sim = Simulator::new(4);
+        // Hint points at a black hole.
+        let resolver = Resolver::new(
+            ResolverConfig::default(),
+            vec![(pool_name(), vec!["203.0.113.250".parse().unwrap()])],
+        );
+        sim.add_host(RESOLVER, OsProfile::linux(), Box::new(resolver)).unwrap();
+        let addrs = lookup_once(&mut sim, CLIENT, RESOLVER, &pool_name());
+        assert!(addrs.is_empty());
+        let r: &Resolver = sim.host(RESOLVER).unwrap();
+        assert_eq!(r.stats.upstream_queries, 3, "initial + 2 retries");
+        assert_eq!(r.stats.servfails, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_are_aggregated() {
+        let mut sim = build_sim(ResolverConfig::default());
+        let a = crate::stub::OneShot::spawn(&mut sim, CLIENT, RESOLVER, pool_name());
+        let b = crate::stub::OneShot::spawn(&mut sim, "10.0.0.101".parse().unwrap(), RESOLVER, pool_name());
+        sim.run_for(SimDuration::from_secs(5));
+        let ra = crate::stub::OneShot::result(&sim, a);
+        let rb = crate::stub::OneShot::result(&sim, b);
+        assert_eq!(ra.len(), 4);
+        assert_eq!(ra, rb);
+        let r: &Resolver = sim.host(RESOLVER).unwrap();
+        assert_eq!(r.stats.upstream_queries, 1, "one upstream query for both clients");
+    }
+}

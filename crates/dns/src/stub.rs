@@ -1,0 +1,284 @@
+//! Client-side DNS helpers: a stub resolver for embedding in other hosts
+//! (NTP clients, scanners) and one-shot lookup utilities for tests.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use netsim::prelude::*;
+use rand::RngExt;
+
+use crate::auth::DNS_PORT;
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::record::{Record, RecordType};
+
+/// A parsed DNS reply delivered back through [`StubResolver::handle`].
+#[derive(Debug, Clone)]
+pub struct DnsReply {
+    /// The TXID this reply answered.
+    pub txid: u16,
+    /// The queried name.
+    pub qname: Name,
+    /// Response code.
+    pub rcode: Rcode,
+    /// A-record addresses in the answer.
+    pub addrs: Vec<Ipv4Addr>,
+    /// TTLs parallel to `addrs`.
+    pub ttls: Vec<u32>,
+    /// The full message for callers needing more.
+    pub message: Message,
+}
+
+/// A minimal stub resolver for hosts that perform DNS lookups through the
+/// simulated network. The owner forwards incoming datagrams on its query
+/// port to [`StubResolver::handle`].
+#[derive(Debug)]
+pub struct StubResolver {
+    resolver: Ipv4Addr,
+    port: u16,
+    pending: HashMap<u16, Name>,
+}
+
+impl StubResolver {
+    /// Creates a stub pointing at `resolver`, sourcing queries from local
+    /// UDP port `port`.
+    pub fn new(resolver: Ipv4Addr, port: u16) -> Self {
+        StubResolver { resolver, port, pending: HashMap::new() }
+    }
+
+    /// The resolver queried by this stub.
+    pub fn resolver(&self) -> Ipv4Addr {
+        self.resolver
+    }
+
+    /// Repoints the stub at a different resolver.
+    pub fn set_resolver(&mut self, resolver: Ipv4Addr) {
+        self.resolver = resolver;
+    }
+
+    /// The local port replies are expected on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Sends an A query with RD=1; returns the TXID.
+    pub fn query_a(&mut self, ctx: &mut Ctx<'_>, name: &Name) -> u16 {
+        self.query(ctx, name, RecordType::A, true)
+    }
+
+    /// Sends a query; returns the TXID.
+    pub fn query(&mut self, ctx: &mut Ctx<'_>, name: &Name, qtype: RecordType, rd: bool) -> u16 {
+        let txid: u16 = ctx.rng().random();
+        let msg = Message::query(txid, name.clone(), qtype, rd);
+        if let Ok(wire) = msg.encode() {
+            ctx.send_udp(self.resolver, self.port, DNS_PORT, wire);
+            self.pending.insert(txid, name.clone());
+        }
+        txid
+    }
+
+    /// Attempts to interpret a datagram as a reply to one of our pending
+    /// queries. Returns `None` for unrelated traffic.
+    pub fn handle(&mut self, d: &Datagram) -> Option<DnsReply> {
+        if d.dst_port != self.port || d.src != self.resolver {
+            return None;
+        }
+        let msg = Message::decode(&d.payload).ok()?;
+        if !msg.header.qr {
+            return None;
+        }
+        let qname = self.pending.remove(&msg.header.id)?;
+        let (addrs, ttls) = msg
+            .answers
+            .iter()
+            .filter(|r| r.rtype() == RecordType::A)
+            .filter_map(|r| r.as_a().map(|a| (a, r.ttl)))
+            .unzip();
+        Some(DnsReply { txid: msg.header.id, qname, rcode: msg.header.rcode, addrs, ttls, message: msg })
+    }
+
+    /// Number of queries still awaiting a reply.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// A one-shot lookup host used by tests and scanners: sends a single query
+/// on start and records the answer.
+#[derive(Debug)]
+pub struct OneShot {
+    stub: StubResolver,
+    name: Name,
+    rd: bool,
+    /// The addresses from the reply (empty until it arrives, or on failure).
+    pub addrs: Vec<Ipv4Addr>,
+    /// TTLs parallel to `addrs`.
+    pub ttls: Vec<u32>,
+    /// Set when a reply (of any rcode) arrived.
+    pub replied: bool,
+    /// The rcode of the reply.
+    pub rcode: Option<Rcode>,
+    /// Time the query was sent.
+    pub sent_at: Option<SimTime>,
+    /// Time the reply arrived.
+    pub replied_at: Option<SimTime>,
+}
+
+impl OneShot {
+    /// Creates a host that will query `resolver` for `name` (A, RD=1).
+    pub fn new(resolver: Ipv4Addr, name: Name) -> Self {
+        OneShot {
+            stub: StubResolver::new(resolver, 5353),
+            name,
+            rd: true,
+            addrs: Vec::new(),
+            ttls: Vec::new(),
+            replied: false,
+            rcode: None,
+            sent_at: None,
+            replied_at: None,
+        }
+    }
+
+    /// Same, but with RD=0 (the cache-snooping probe).
+    pub fn new_snoop(resolver: Ipv4Addr, name: Name) -> Self {
+        OneShot { rd: false, ..OneShot::new(resolver, name) }
+    }
+
+    /// Adds the host to `sim` at `addr` and returns `addr` for later
+    /// [`OneShot::result`] retrieval.
+    pub fn spawn(sim: &mut Simulator, addr: Ipv4Addr, resolver: Ipv4Addr, name: Name) -> Ipv4Addr {
+        sim.add_host(addr, OsProfile::linux(), Box::new(OneShot::new(resolver, name)))
+            .expect("address free");
+        addr
+    }
+
+    /// The addresses received by the host spawned at `addr`.
+    pub fn result(sim: &Simulator, addr: Ipv4Addr) -> Vec<Ipv4Addr> {
+        sim.host::<OneShot>(addr).map(|h| h.addrs.clone()).unwrap_or_default()
+    }
+}
+
+impl Host for OneShot {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.sent_at = Some(ctx.now());
+        let name = self.name.clone();
+        self.stub.query(ctx, &name, RecordType::A, self.rd);
+    }
+
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: &Datagram) {
+        if let Some(reply) = self.stub.handle(d) {
+            self.replied = true;
+            self.rcode = Some(reply.rcode);
+            self.addrs = reply.addrs;
+            self.ttls = reply.ttls;
+            self.replied_at = Some(ctx.now());
+        }
+    }
+}
+
+/// Adds a host at `preferred`, or the next free consecutive address if it
+/// is taken. Returns the address actually used.
+fn spawn_at_free(
+    sim: &mut Simulator,
+    preferred: Ipv4Addr,
+    mut make: impl FnMut() -> Box<dyn Host>,
+) -> Ipv4Addr {
+    let mut addr = preferred;
+    loop {
+        match sim.add_host(addr, OsProfile::linux(), make()) {
+            Ok(()) => return addr,
+            Err(_) => addr = Ipv4Addr::from(u32::from(addr).wrapping_add(1)),
+        }
+    }
+}
+
+/// Runs a blocking A lookup through `sim`: spawns a throwaway [`OneShot`]
+/// at `client` (or the next free address), advances the simulation up to 10
+/// simulated seconds, and returns the addresses (empty on SERVFAIL/timeout).
+pub fn lookup_once(
+    sim: &mut Simulator,
+    client: Ipv4Addr,
+    resolver: Ipv4Addr,
+    name: &Name,
+) -> Vec<Ipv4Addr> {
+    let addr = spawn_at_free(sim, client, || Box::new(OneShot::new(resolver, name.clone())));
+    sim.run_for(SimDuration::from_secs(10));
+    sim.host::<OneShot>(addr).map(|h| h.addrs.clone()).unwrap_or_default()
+}
+
+/// Runs a blocking RD=0 snoop probe. Returns `Some((addrs, min_ttl))` if the
+/// resolver revealed a cached RRset, `None` otherwise. The probe host is
+/// placed at `client` or the next free consecutive address.
+pub fn snoop_once(
+    sim: &mut Simulator,
+    client: Ipv4Addr,
+    resolver: Ipv4Addr,
+    name: &Name,
+) -> Option<(Vec<Ipv4Addr>, u32)> {
+    let addr = spawn_at_free(sim, client, || Box::new(OneShot::new_snoop(resolver, name.clone())));
+    sim.run_for(SimDuration::from_secs(5));
+    let h = sim.host::<OneShot>(addr)?;
+    if h.addrs.is_empty() {
+        None
+    } else {
+        Some((h.addrs.clone(), h.ttls.iter().copied().min().unwrap_or(0)))
+    }
+}
+
+/// Payload helper: encodes an A query ready to be sent raw (used by
+/// attacker hosts that spoof their source address).
+pub fn raw_a_query(txid: u16, name: &Name, rd: bool) -> Bytes {
+    Message::query(txid, name.clone(), RecordType::A, rd)
+        .encode()
+        .expect("query encodes")
+}
+
+/// Extracts (addr, ttl) pairs from any records in `records`.
+pub fn a_records(records: &[Record]) -> Vec<(Ipv4Addr, u32)> {
+    records.iter().filter_map(|r| r.as_a().map(|a| (a, r.ttl))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_matches_only_its_own_replies() {
+        let resolver: Ipv4Addr = "10.0.0.53".parse().unwrap();
+        let mut stub = StubResolver::new(resolver, 7777);
+        // Forge a reply with an unknown txid: must not match.
+        let msg = {
+            let mut m = Message::query(0xAAAA, "pool.ntp.org".parse().unwrap(), RecordType::A, true);
+            m.header.qr = true;
+            m
+        };
+        let d = Datagram {
+            src: resolver,
+            dst: "10.0.0.1".parse().unwrap(),
+            src_port: DNS_PORT,
+            dst_port: 7777,
+            payload: msg.encode().unwrap(),
+        };
+        assert!(stub.handle(&d).is_none());
+        assert_eq!(stub.outstanding(), 0);
+    }
+
+    #[test]
+    fn reply_from_wrong_source_ignored() {
+        let resolver: Ipv4Addr = "10.0.0.53".parse().unwrap();
+        let stub = StubResolver::new(resolver, 7777);
+        let mut stub = stub;
+        let mut m = Message::query(1, "pool.ntp.org".parse().unwrap(), RecordType::A, true);
+        m.header.qr = true;
+        let d = Datagram {
+            src: "10.9.9.9".parse().unwrap(), // not our resolver
+            dst: "10.0.0.1".parse().unwrap(),
+            src_port: DNS_PORT,
+            dst_port: 7777,
+            payload: m.encode().unwrap(),
+        };
+        assert!(stub.handle(&d).is_none());
+    }
+}

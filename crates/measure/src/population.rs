@@ -1,0 +1,445 @@
+//! Seeded synthetic populations calibrated to the paper's published
+//! aggregates.
+//!
+//! Every population is drawn from a seeded RNG so experiments are
+//! reproducible; the *parameters* (marginal fractions) come straight from
+//! the paper's measurements, and the scanners then re-derive those
+//! aggregates by actually probing the synthetic hosts — validating the
+//! measurement methodology, not just echoing inputs.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+
+/// One NTP pool server's behaviour (§VII-A population).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PoolServerSpec {
+    /// Whether the server rate limits at a 1 Hz query rate.
+    pub rate_limits: bool,
+    /// Whether it sends a KoD before going silent.
+    pub sends_kod: bool,
+    /// Whether the mode-6 configuration interface is exposed (§IV-B2c).
+    pub open_config: bool,
+}
+
+/// The §VII-A scan population: 2 432 servers, 38 % rate limiting, 33 %
+/// KoD-sending, 5.3 % with an open config interface.
+pub fn pool_servers(n: usize, seed: u64) -> Vec<PoolServerSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let rate_limits = rng.random_bool(0.38);
+            // 33 of the 38 points send KoD; the rest drop silently.
+            let sends_kod = rate_limits && rng.random_bool(0.33 / 0.38);
+            PoolServerSpec { rate_limits, sends_kod, open_config: rng.random_bool(0.053) }
+        })
+        .collect()
+}
+
+/// The measured number of pool servers in §VII-A.
+pub const POOL_SCAN_SIZE: usize = 2432;
+
+/// A domain's nameserver PMTUD behaviour (Fig. 5 population).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NameserverSpec {
+    /// Whether ICMP frag-needed is honoured at all.
+    pub honours_pmtud: bool,
+    /// The smallest fragment size the NS will emit (its PMTU floor).
+    pub min_fragment_mtu: u16,
+    /// Whether the domain is DNSSEC-signed.
+    pub signed: bool,
+}
+
+/// Mixture for the Fig. 5 CDF over *fragmenting, unsigned* domains:
+/// `(floor, cumulative fraction)` — 7.05 % reach 292 B, 83.2 % reach 548 B.
+pub const FIG5_CDF_POINTS: [(u16, f64); 5] =
+    [(68, 0.020), (292, 0.0705), (548, 0.832), (1276, 0.952), (1492, 1.0)];
+
+/// Draws the 1M-domain nameserver population (§VII-B): `frag_unsigned`
+/// fraction (paper: 7.66 %) fragment and are unsigned, with floors from
+/// [`FIG5_CDF_POINTS`]; ~1 % are signed; the rest ignore PMTUD.
+pub fn domain_nameservers(n: usize, seed: u64) -> Vec<NameserverSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let roll: f64 = rng.random();
+            if roll < 0.0766 {
+                NameserverSpec {
+                    honours_pmtud: true,
+                    min_fragment_mtu: sample_floor(&mut rng),
+                    signed: false,
+                }
+            } else if roll < 0.0766 + 0.01 {
+                // Signed domains (~1 %); half of them also fragment.
+                NameserverSpec {
+                    honours_pmtud: rng.random_bool(0.5),
+                    min_fragment_mtu: sample_floor(&mut rng),
+                    signed: true,
+                }
+            } else {
+                NameserverSpec { honours_pmtud: false, min_fragment_mtu: 1500, signed: false }
+            }
+        })
+        .collect()
+}
+
+fn sample_floor(rng: &mut SmallRng) -> u16 {
+    let roll: f64 = rng.random();
+    let mut prev = 0.0;
+    for &(floor, cum) in &FIG5_CDF_POINTS {
+        if roll < cum {
+            return floor;
+        }
+        prev = cum;
+    }
+    let _ = prev;
+    1492
+}
+
+/// The pool.ntp.org nameserver population of §VII-B: 30 nameservers, 16 of
+/// which fragment below 548 bytes, none signed.
+pub fn pool_nameservers(seed: u64) -> Vec<NameserverSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<NameserverSpec> = (0..30)
+        .map(|i| NameserverSpec {
+            honours_pmtud: i < 16,
+            min_fragment_mtu: if i < 16 {
+                if rng.random_bool(0.1) {
+                    292
+                } else {
+                    548
+                }
+            } else {
+                1500
+            },
+            signed: false,
+        })
+        .collect();
+    // Shuffle so position carries no information.
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// An open resolver's state for the Table IV / Fig. 6 / Fig. 7 scans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OpenResolverSpec {
+    /// Whether the resolver honours RD=0 (cache-only) semantics; the scan's
+    /// verification step excludes those that do not.
+    pub respects_rd: bool,
+    /// Which pool records are cached, with their current age in seconds:
+    /// `[NS, A, 0.A, 1.A, 2.A, 3.A]`.
+    pub cached: [Option<u32>; 6],
+    /// Whether the resolver accepts fragmented responses (~31 %).
+    pub accepts_fragments: bool,
+    /// One-way scanner→resolver latency in milliseconds (5..300).
+    pub rtt_ms: u64,
+}
+
+/// Table IV cache probabilities: NS, apex A, 0..3 A.
+pub const TABLE4_CACHE_P: [f64; 6] = [0.5828, 0.6941, 0.6392, 0.6128, 0.6155, 0.5858];
+
+/// Record TTLs matching the probed records (NS record: 3600 s, A: 150 s).
+pub const TABLE4_TTLS: [u32; 6] = [3600, 150, 150, 150, 150, 150];
+
+/// Draws the open-resolver population.
+pub fn open_resolvers(n: usize, seed: u64) -> Vec<OpenResolverSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut cached = [None; 6];
+            for (slot, (&p, &ttl)) in cached.iter_mut().zip(TABLE4_CACHE_P.iter().zip(&TABLE4_TTLS))
+            {
+                if rng.random_bool(p) {
+                    *slot = Some(rng.random_range(0..ttl));
+                }
+            }
+            OpenResolverSpec {
+                respects_rd: rng.random_bool(0.41),
+                cached,
+                accepts_fragments: rng.random_bool(0.31),
+                rtt_ms: rng.random_range(5..300),
+            }
+        })
+        .collect()
+}
+
+/// Regions of the ad study (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Region {
+    /// Asia (dataset 1).
+    Asia,
+    /// Africa (dataset 1).
+    Africa,
+    /// Europe (dataset 1).
+    Europe,
+    /// Northern America (dataset 2).
+    NorthernAmerica,
+    /// Latin America (dataset 1).
+    LatinAmerica,
+}
+
+impl Region {
+    /// All regions in Table V order.
+    pub fn all() -> [Region; 5] {
+        [
+            Region::Asia,
+            Region::Africa,
+            Region::Europe,
+            Region::NorthernAmerica,
+            Region::LatinAmerica,
+        ]
+    }
+
+    /// Display name as in Table V.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Asia => "Asia",
+            Region::Africa => "Africa",
+            Region::Europe => "Europe",
+            Region::NorthernAmerica => "Northern America",
+            Region::LatinAmerica => "Latin America",
+        }
+    }
+
+    /// Valid-client counts from Table V (datasets 1 and 2).
+    pub fn client_count(self) -> usize {
+        match self {
+            Region::Asia => 3169,
+            Region::Africa => 303,
+            Region::Europe => 1390,
+            Region::NorthernAmerica => 2314,
+            Region::LatinAmerica => 838,
+        }
+    }
+
+    /// Fraction of clients whose resolvers accept tiny (68 B) fragments.
+    pub fn p_accept_tiny(self) -> f64 {
+        match self {
+            Region::Asia => 0.5822,
+            Region::Africa => 0.7327,
+            Region::Europe => 0.7266,
+            Region::NorthernAmerica => 0.5843,
+            Region::LatinAmerica => 0.6826,
+        }
+    }
+
+    /// Fraction accepting at least one fragment size.
+    pub fn p_accept_any(self) -> f64 {
+        match self {
+            Region::Asia => 0.9034,
+            Region::Africa => 0.9571,
+            Region::Europe => 0.9187,
+            Region::NorthernAmerica => 0.7593,
+            Region::LatinAmerica => 0.9057,
+        }
+    }
+
+    /// DNSSEC validation rate (paper: between 19.14 % and 28.94 %).
+    pub fn p_validates(self) -> f64 {
+        match self {
+            Region::Asia => 0.1914,
+            Region::Africa => 0.2894,
+            Region::Europe => 0.2718,
+            Region::NorthernAmerica => 0.2341,
+            Region::LatinAmerica => 0.2052,
+        }
+    }
+}
+
+/// An ad-study client: its region, device class and resolver behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AdClientSpec {
+    /// Geographic region.
+    pub region: Region,
+    /// True for mobile/tablet (vs PC).
+    pub mobile: bool,
+    /// Resolver is Google-like (accepts only big fragments).
+    pub google_resolver: bool,
+    /// The smallest *leading* fragment size the resolver accepts;
+    /// `u16::MAX` encodes "rejects all fragments".
+    pub min_fragment_accepted: u16,
+    /// Whether the resolver validates DNSSEC.
+    pub validates: bool,
+}
+
+/// Draws the Table V client population (all regions, paper counts).
+pub fn ad_clients(seed: u64) -> Vec<AdClientSpec> {
+    ad_clients_scaled(seed, 1.0)
+}
+
+/// Draws a scaled-down client population (same marginals, `scale` × the
+/// paper's per-region counts; minimum 30 clients per region).
+pub fn ad_clients_scaled(seed: u64, scale: f64) -> Vec<AdClientSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for region in Region::all() {
+        let count = ((region.client_count() as f64 * scale) as usize).max(30);
+        // ~13.5 % of dataset-1 clients used Google resolvers (791/5847).
+        let p_google = if region == Region::NorthernAmerica { 0.10 } else { 0.135 };
+        for _ in 0..count {
+            let google_resolver = rng.random_bool(p_google);
+            let min_fragment_accepted = if google_resolver {
+                1000 // filters everything below "big"
+            } else {
+                sample_min_accept(&mut rng, region)
+            };
+            out.push(AdClientSpec {
+                region,
+                mobile: rng.random_bool(0.53),
+                google_resolver,
+                min_fragment_accepted,
+                validates: rng.random_bool(region.p_validates()),
+            });
+        }
+    }
+    out
+}
+
+/// Samples the non-Google fragment-acceptance floor for a region, shaped so
+/// the *overall* (incl. Google) marginals land on Table V's
+/// `p_accept_tiny` / `p_accept_any`.
+fn sample_min_accept(rng: &mut SmallRng, region: Region) -> u16 {
+    let p_google = if region == Region::NorthernAmerica { 0.10 } else { 0.135 };
+    // Overall: P(tiny) = (1-g)·x → x = P(tiny)/(1-g); Google accepts "any".
+    let x_tiny = (region.p_accept_tiny() / (1.0 - p_google)).min(1.0);
+    let x_any = ((region.p_accept_any() - p_google) / (1.0 - p_google)).clamp(x_tiny, 1.0);
+    let roll: f64 = rng.random();
+    if roll < x_tiny {
+        0 // accepts even 68-byte fragments
+    } else if roll < x_any {
+        // Accepts some size: spread over small/medium/big thresholds.
+        *[200u16, 500, 1000].get(rng.random_range(0..3)).expect("3 choices")
+    } else {
+        u16::MAX // rejects all fragments
+    }
+}
+
+/// A web-client resolver for the §VIII-B3 shared-resolver study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SharedResolverSpec {
+    /// An SMTP server in the same /24 uses this resolver.
+    pub smtp_shares: bool,
+    /// The resolver itself is open.
+    pub open: bool,
+}
+
+/// §VIII-B3 population: of 18 668 web-client resolvers, 11.3 % shared with
+/// SMTP, 2.3 % open, 0.2 % both.
+pub fn shared_resolvers(n: usize, seed: u64) -> Vec<SharedResolverSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let roll: f64 = rng.random();
+            if roll < 0.002 {
+                SharedResolverSpec { smtp_shares: true, open: true }
+            } else if roll < 0.002 + 0.113 {
+                SharedResolverSpec { smtp_shares: true, open: false }
+            } else if roll < 0.002 + 0.113 + 0.023 {
+                SharedResolverSpec { smtp_shares: false, open: true }
+            } else {
+                SharedResolverSpec { smtp_shares: false, open: false }
+            }
+        })
+        .collect()
+}
+
+/// The §VIII-B3 study size.
+pub const SHARED_STUDY_SIZE: usize = 18_668;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_population_marginals() {
+        let pop = pool_servers(POOL_SCAN_SIZE, 1);
+        let limiting = pop.iter().filter(|s| s.rate_limits).count() as f64 / pop.len() as f64;
+        let kod = pop.iter().filter(|s| s.sends_kod).count() as f64 / pop.len() as f64;
+        let config = pop.iter().filter(|s| s.open_config).count() as f64 / pop.len() as f64;
+        assert!((limiting - 0.38).abs() < 0.03, "rate limiting {limiting}");
+        assert!((kod - 0.33).abs() < 0.03, "kod {kod}");
+        assert!((config - 0.053).abs() < 0.02, "open config {config}");
+        assert!(pop.iter().all(|s| !s.sends_kod || s.rate_limits));
+    }
+
+    #[test]
+    fn nameserver_population_marginals() {
+        let pop = domain_nameservers(50_000, 2);
+        let frag_unsigned = pop.iter().filter(|s| s.honours_pmtud && !s.signed).count() as f64
+            / pop.len() as f64;
+        assert!((frag_unsigned - 0.0766).abs() < 0.01, "frag+unsigned {frag_unsigned}");
+        let fragging: Vec<_> = pop.iter().filter(|s| s.honours_pmtud && !s.signed).collect();
+        let at_548 = fragging.iter().filter(|s| s.min_fragment_mtu <= 548).count() as f64
+            / fragging.len() as f64;
+        assert!((at_548 - 0.832).abs() < 0.03, "CDF(548) {at_548}");
+        let at_292 = fragging.iter().filter(|s| s.min_fragment_mtu <= 292).count() as f64
+            / fragging.len() as f64;
+        assert!((at_292 - 0.0705).abs() < 0.02, "CDF(292) {at_292}");
+    }
+
+    #[test]
+    fn pool_ns_population_is_16_of_30() {
+        let pop = pool_nameservers(3);
+        assert_eq!(pop.len(), 30);
+        assert_eq!(pop.iter().filter(|s| s.honours_pmtud).count(), 16);
+        assert!(pop.iter().all(|s| !s.signed), "0 of 30 support DNSSEC");
+    }
+
+    #[test]
+    fn open_resolver_marginals() {
+        let pop = open_resolvers(50_000, 4);
+        let a_cached =
+            pop.iter().filter(|s| s.cached[1].is_some()).count() as f64 / pop.len() as f64;
+        assert!((a_cached - 0.6941).abs() < 0.01, "A cached {a_cached}");
+        // Ages are within TTL.
+        assert!(pop
+            .iter()
+            .flat_map(|s| s.cached[1])
+            .all(|age| age < 150));
+    }
+
+    #[test]
+    fn ad_population_marginals_recover_table5() {
+        let pop = ad_clients_scaled(5, 1.0);
+        for region in Region::all() {
+            let clients: Vec<_> = pop.iter().filter(|c| c.region == region).collect();
+            assert!(!clients.is_empty());
+            let tiny = clients.iter().filter(|c| c.min_fragment_accepted <= 68).count() as f64
+                / clients.len() as f64;
+            assert!(
+                (tiny - region.p_accept_tiny()).abs() < 0.04,
+                "{}: tiny {tiny} want {}",
+                region.name(),
+                region.p_accept_tiny()
+            );
+            let any = clients.iter().filter(|c| c.min_fragment_accepted < u16::MAX).count() as f64
+                / clients.len() as f64;
+            assert!(
+                (any - region.p_accept_any()).abs() < 0.04,
+                "{}: any {any} want {}",
+                region.name(),
+                region.p_accept_any()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_population_marginals() {
+        let pop = shared_resolvers(SHARED_STUDY_SIZE, 6);
+        let smtp = pop.iter().filter(|s| s.smtp_shares && !s.open).count() as f64 / pop.len() as f64;
+        let open = pop.iter().filter(|s| s.open && !s.smtp_shares).count() as f64 / pop.len() as f64;
+        let both = pop.iter().filter(|s| s.open && s.smtp_shares).count() as f64 / pop.len() as f64;
+        assert!((smtp - 0.113).abs() < 0.01);
+        assert!((open - 0.023).abs() < 0.005);
+        assert!((both - 0.002).abs() < 0.002);
+    }
+
+    #[test]
+    fn populations_are_deterministic_per_seed() {
+        assert_eq!(pool_servers(100, 9), pool_servers(100, 9));
+        assert_ne!(pool_servers(100, 9), pool_servers(100, 10));
+    }
+}

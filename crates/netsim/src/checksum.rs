@@ -1,0 +1,147 @@
+//! RFC 1071 ones'-complement checksum arithmetic.
+//!
+//! The Internet checksum is central to the fragmentation attack of the
+//! paper (§III-3): an off-path attacker who replaces the second fragment of
+//! a UDP datagram must keep the ones'-complement sum of the replaced bytes
+//! identical, because the UDP checksum field itself travels in the *first*
+//! fragment which the attacker cannot touch. This module provides the sum,
+//! the checksum, and the ones'-complement add/sub helpers used by the
+//! fix-up ([`attack`-crate `ChecksumFixer`](https://example.org)).
+
+/// Computes the ones'-complement sum (without final inversion) of `data`,
+/// treating it as a sequence of big-endian 16-bit words. Odd trailing bytes
+/// are padded with a zero byte, per RFC 1071.
+///
+/// ```
+/// use netsim::checksum::ones_complement_sum;
+///
+/// // 0x0102 + 0x0304 = 0x0406
+/// assert_eq!(ones_complement_sum(&[1, 2, 3, 4]), 0x0406);
+/// ```
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    fold(sum)
+}
+
+/// Computes the Internet checksum of `data`: the bitwise complement of the
+/// ones'-complement sum.
+///
+/// ```
+/// use netsim::checksum::{checksum, verify};
+///
+/// let data = [0x45, 0x00, 0x00, 0x1c];
+/// let ck = checksum(&data);
+/// let mut with_ck = data.to_vec();
+/// with_ck.extend_from_slice(&ck.to_be_bytes());
+/// assert!(verify(&with_ck));
+/// ```
+pub fn checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Verifies data whose checksum field is embedded in it: valid iff the
+/// ones'-complement sum over everything (including the checksum) is `0xFFFF`.
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xFFFF
+}
+
+/// Adds two values in ones'-complement arithmetic (end-around carry).
+pub fn oc_add(a: u16, b: u16) -> u16 {
+    fold(u32::from(a) + u32::from(b))
+}
+
+/// Subtracts `b` from `a` in ones'-complement arithmetic.
+///
+/// `oc_add(oc_sub(a, b), b) == a` holds for all `a`, `b` up to the usual
+/// ones'-complement ambiguity between `0x0000` and `0xFFFF` (both represent
+/// zero); this module canonicalises sums so the identity holds exactly for
+/// the values produced by [`ones_complement_sum`].
+pub fn oc_sub(a: u16, b: u16) -> u16 {
+    oc_add(a, !b)
+}
+
+fn fold(mut sum: u32) -> u16 {
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Incrementally updates a checksum after a 16-bit word changed from `old`
+/// to `new` (RFC 1624 style). `ck` is the complemented checksum field value.
+pub fn incremental_update(ck: u16, old: u16, new: u16) -> u16 {
+    // ~C' = ~C + ~old + new  (all ones'-complement additions)
+    !oc_add(oc_add(!ck, !old), new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let words: [u8; 8] = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&words), 0xddf2);
+        assert_eq!(checksum(&words), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(ones_complement_sum(&[0xAB]), ones_complement_sum(&[0xAB, 0x00]));
+    }
+
+    #[test]
+    fn verify_detects_single_bit_flip() {
+        let mut data = vec![0x12, 0x34, 0x56, 0x78, 0x00, 0x00];
+        let ck = checksum(&data);
+        data[4..6].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn oc_add_end_around_carry() {
+        assert_eq!(oc_add(0xFFFF, 0x0001), 0x0001);
+        assert_eq!(oc_add(0x8000, 0x8000), 0x0001);
+    }
+
+    #[test]
+    fn oc_sub_inverts_oc_add() {
+        for &(a, b) in &[(0x1234u16, 0x0FFFu16), (0xFFFE, 0x0001), (0x0001, 0xFFFE), (0xABCD, 0xABCD)] {
+            let diff = oc_sub(a, b);
+            let back = oc_add(diff, b);
+            // In ones'-complement 0x0000 and 0xFFFF are both zero.
+            let eq = back == a || (back == 0xFFFF && a == 0x0000) || (back == 0x0000 && a == 0xFFFF);
+            assert!(eq, "a={a:#06x} b={b:#06x} diff={diff:#06x} back={back:#06x}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0u8; 12];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 37 + 11) as u8;
+        }
+        let ck = checksum(&data);
+        let old = u16::from_be_bytes([data[4], data[5]]);
+        let new: u16 = 0xBEEF;
+        data[4..6].copy_from_slice(&new.to_be_bytes());
+        let updated = incremental_update(ck, old, new);
+        let recomputed = checksum(&data);
+        // Equal up to the ones'-complement zero ambiguity.
+        assert!(
+            updated == recomputed
+                || (updated == 0x0000 && recomputed == 0xFFFF)
+                || (updated == 0xFFFF && recomputed == 0x0000)
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! IPv4 fragmentation and the receiver-side defragmentation cache.
+//!
+//! The defragmentation cache is the attack surface of the paper's poisoning
+//! primitive (§III-2): an off-path attacker plants a spoofed *second*
+//! fragment keyed by `(src, dst, protocol, IPID)`; when the nameserver's
+//! real *first* fragment arrives it reassembles with the planted one. The
+//! cache models the behaviours the paper measured: reassembly timeouts of
+//! 30 s (Linux) and 60–120 s (Windows), and caps of 64 / 100 concurrently
+//! pending fragments.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::error::FragmentError;
+use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, MIN_IPV4_MTU};
+use crate::time::{SimDuration, SimTime};
+
+/// Splits `pkt` into fragments no larger than `mtu` on-wire bytes.
+///
+/// Fragment payload sizes are multiples of 8 bytes except for the last
+/// fragment, per RFC 791. Returns the packet unchanged (in a 1-vector) if it
+/// already fits.
+///
+/// # Errors
+///
+/// * [`FragmentError::MtuTooSmall`] if `mtu < 68`.
+/// * [`FragmentError::DontFragment`] if DF is set and the packet does not fit.
+/// * [`FragmentError::AlreadyFragmented`] if `pkt` is itself a fragment.
+pub fn fragment(pkt: &Ipv4Packet, mtu: u16) -> Result<Vec<Ipv4Packet>, FragmentError> {
+    if mtu < MIN_IPV4_MTU {
+        return Err(FragmentError::MtuTooSmall { mtu });
+    }
+    if pkt.is_fragment() {
+        return Err(FragmentError::AlreadyFragmented);
+    }
+    if pkt.wire_len() <= usize::from(mtu) {
+        return Ok(vec![pkt.clone()]);
+    }
+    if pkt.dont_fragment {
+        return Err(FragmentError::DontFragment { len: pkt.wire_len(), mtu });
+    }
+    // Payload bytes per fragment, rounded down to a multiple of 8.
+    let per_frag = (usize::from(mtu) - IPV4_HEADER_LEN) & !7;
+    let mut frags = Vec::new();
+    let mut offset = 0usize;
+    while offset < pkt.payload.len() {
+        let end = usize::min(offset + per_frag, pkt.payload.len());
+        let last = end == pkt.payload.len();
+        frags.push(Ipv4Packet {
+            more_fragments: !last,
+            frag_offset: (offset / 8) as u16,
+            payload: pkt.payload.slice(offset..end),
+            dont_fragment: false,
+            ..pkt.clone()
+        });
+        offset = end;
+    }
+    Ok(frags)
+}
+
+/// Key identifying the fragments of one original datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragKey {
+    /// Source address on the fragments.
+    pub src: Ipv4Addr,
+    /// Destination address on the fragments.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub protocol: u8,
+    /// The shared identification field.
+    pub id: u16,
+}
+
+impl FragKey {
+    /// Extracts the key from a fragment.
+    pub fn of(pkt: &Ipv4Packet) -> FragKey {
+        FragKey { src: pkt.src, dst: pkt.dst, protocol: pkt.protocol, id: pkt.id }
+    }
+}
+
+/// What the cache does when two fragments claim the same byte range.
+///
+/// Real stacks differ; the attack relies on the planted spoofed fragment
+/// surviving, which holds under [`DuplicatePolicy::FirstWins`] (the planted
+/// fragment arrives *before* the real one). The alternative is provided for
+/// the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum DuplicatePolicy {
+    /// Keep the earlier-arrived fragment (classic BSD/Linux behaviour).
+    #[default]
+    FirstWins,
+    /// Let a later fragment overwrite an earlier duplicate.
+    LastWins,
+}
+
+/// Tuning knobs of a [`DefragCache`], matching an OS profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DefragConfig {
+    /// How long incomplete reassemblies are retained. Linux: 30 s;
+    /// Windows: 60–120 s; RFC 2460 suggests 60 s (paper §IV-A).
+    pub timeout: SimDuration,
+    /// Maximum concurrently-pending fragments per (src, dst) pair.
+    /// Linux: 64, Windows: 100 (paper §III-2).
+    pub max_pending_per_pair: usize,
+    /// Duplicate-range resolution policy.
+    pub duplicate_policy: DuplicatePolicy,
+}
+
+impl Default for DefragConfig {
+    fn default() -> Self {
+        DefragConfig {
+            timeout: SimDuration::from_secs(30),
+            max_pending_per_pair: 64,
+            duplicate_policy: DuplicatePolicy::FirstWins,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoredFrag {
+    offset: usize,
+    more: bool,
+    data: Bytes,
+}
+
+#[derive(Debug)]
+struct Entry {
+    fragments: Vec<StoredFrag>,
+    created: SimTime,
+}
+
+/// A receiver-side IPv4 reassembly cache.
+///
+/// ```
+/// use bytes::Bytes;
+/// use netsim::frag::{fragment, DefragCache, DefragConfig};
+/// use netsim::ipv4::Ipv4Packet;
+/// use netsim::time::SimTime;
+///
+/// let pkt = Ipv4Packet::udp(
+///     "10.0.0.1".parse().unwrap(),
+///     "10.0.0.2".parse().unwrap(),
+///     7,
+///     Bytes::from(vec![0xAB; 2000]),
+/// );
+/// let frags = fragment(&pkt, 576).unwrap();
+/// let mut cache = DefragCache::new(DefragConfig::default());
+/// let mut out = None;
+/// for f in frags {
+///     out = cache.insert(SimTime::ZERO, &f);
+/// }
+/// assert_eq!(out.unwrap().payload, pkt.payload);
+/// ```
+#[derive(Debug)]
+pub struct DefragCache {
+    config: DefragConfig,
+    entries: HashMap<FragKey, Entry>,
+    /// Count of pending fragments per (src, dst), enforcing the OS cap.
+    pending: HashMap<(Ipv4Addr, Ipv4Addr), usize>,
+}
+
+impl DefragCache {
+    /// Creates an empty cache with the given configuration.
+    pub fn new(config: DefragConfig) -> Self {
+        DefragCache { config, entries: HashMap::new(), pending: HashMap::new() }
+    }
+
+    /// Number of distinct pending reassemblies.
+    pub fn pending_reassemblies(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of pending fragments for a given (src, dst) pair.
+    pub fn pending_for_pair(&self, src: Ipv4Addr, dst: Ipv4Addr) -> usize {
+        self.pending.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Inserts a fragment at time `now`. If this completes a datagram,
+    /// returns the reassembled (unfragmented) packet and clears the entry.
+    ///
+    /// Non-fragments pass through unchanged. Expired entries are garbage
+    /// collected lazily on every insert.
+    pub fn insert(&mut self, now: SimTime, pkt: &Ipv4Packet) -> Option<Ipv4Packet> {
+        self.expire(now);
+        if !pkt.is_fragment() {
+            return Some(pkt.clone());
+        }
+        let key = FragKey::of(pkt);
+        let pair = (pkt.src, pkt.dst);
+        let pending = self.pending.entry(pair).or_insert(0);
+        if *pending >= self.config.max_pending_per_pair {
+            // Cache full for this pair: the fragment is dropped, exactly the
+            // limit the paper cites (64 on Linux / 100 on Windows).
+            return None;
+        }
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            fragments: Vec::new(),
+            created: now,
+        });
+        let new_frag = StoredFrag {
+            offset: pkt.payload_offset(),
+            more: pkt.more_fragments,
+            data: pkt.payload.clone(),
+        };
+        match entry.fragments.iter_mut().find(|f| f.offset == new_frag.offset) {
+            Some(existing) => {
+                if self.config.duplicate_policy == DuplicatePolicy::LastWins {
+                    *existing = new_frag;
+                }
+                // FirstWins: planted fragment survives; the duplicate is
+                // discarded without counting against the pair cap.
+            }
+            None => {
+                entry.fragments.push(new_frag);
+                *pending += 1;
+            }
+        }
+        if let Some(payload) = try_reassemble(&entry.fragments) {
+            let n = entry.fragments.len();
+            self.entries.remove(&key);
+            Self::debit(&mut self.pending, pair, n);
+            return Some(Ipv4Packet {
+                more_fragments: false,
+                frag_offset: 0,
+                payload,
+                src: key.src,
+                dst: key.dst,
+                id: key.id,
+                protocol: key.protocol,
+                ttl: pkt.ttl,
+                dont_fragment: false,
+            });
+        }
+        None
+    }
+
+    /// Drops reassemblies older than the configured timeout.
+    pub fn expire(&mut self, now: SimTime) {
+        let timeout = self.config.timeout;
+        let pending = &mut self.pending;
+        self.entries.retain(|key, entry| {
+            let keep = now.saturating_since(entry.created) < timeout;
+            if !keep {
+                Self::debit(pending, (key.src, key.dst), entry.fragments.len());
+            }
+            keep
+        });
+    }
+
+    fn debit(pending: &mut HashMap<(Ipv4Addr, Ipv4Addr), usize>, pair: (Ipv4Addr, Ipv4Addr), n: usize) {
+        if let Some(count) = pending.get_mut(&pair) {
+            *count = count.saturating_sub(n);
+            if *count == 0 {
+                pending.remove(&pair);
+            }
+        }
+    }
+}
+
+/// Attempts to assemble a complete payload from stored fragments: requires a
+/// final fragment (`more == false`) and gap-free coverage from offset 0.
+fn try_reassemble(fragments: &[StoredFrag]) -> Option<Bytes> {
+    let total = fragments
+        .iter()
+        .find(|f| !f.more)
+        .map(|f| f.offset + f.data.len())?;
+    let mut sorted: Vec<&StoredFrag> = fragments.iter().collect();
+    sorted.sort_by_key(|f| f.offset);
+    let mut covered = 0usize;
+    for f in &sorted {
+        if f.offset > covered {
+            return None; // gap
+        }
+        covered = covered.max(f.offset + f.data.len());
+    }
+    if covered < total {
+        return None;
+    }
+    let mut buf = BytesMut::with_capacity(total);
+    buf.resize(total, 0);
+    // Write in reverse arrival-order so earlier fragments win overlaps
+    // (matching FirstWins duplicate handling for partial overlaps too).
+    for f in sorted.iter().rev() {
+        let end = usize::min(f.offset + f.data.len(), total);
+        if f.offset < total {
+            buf[f.offset..end].copy_from_slice(&f.data[..end - f.offset]);
+        }
+    }
+    Some(buf.freeze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(payload_len: usize, id: u16) -> Ipv4Packet {
+        Ipv4Packet::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            id,
+            Bytes::from((0..payload_len).map(|i| (i % 251) as u8).collect::<Vec<_>>()),
+        )
+    }
+
+    #[test]
+    fn small_packet_not_fragmented() {
+        let p = pkt(100, 1);
+        let frags = fragment(&p, 576).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], p);
+    }
+
+    #[test]
+    fn fragment_sizes_respect_mtu_and_alignment() {
+        let p = pkt(3000, 2);
+        let frags = fragment(&p, 576).unwrap();
+        assert!(frags.len() >= 2);
+        for (i, f) in frags.iter().enumerate() {
+            assert!(f.wire_len() <= 576);
+            let last = i == frags.len() - 1;
+            assert_eq!(f.more_fragments, !last);
+            if !last {
+                assert_eq!(f.payload.len() % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let p = pkt(2500, 3);
+        let mut frags = fragment(&p, 576).unwrap();
+        frags.reverse();
+        let mut cache = DefragCache::new(DefragConfig::default());
+        let mut done = None;
+        for f in &frags {
+            done = cache.insert(SimTime::ZERO, f);
+        }
+        let out = done.expect("should reassemble");
+        assert_eq!(out.payload, p.payload);
+        assert_eq!(cache.pending_reassemblies(), 0);
+    }
+
+    #[test]
+    fn df_packet_refuses_fragmentation() {
+        let mut p = pkt(3000, 4);
+        p.dont_fragment = true;
+        assert!(matches!(fragment(&p, 576), Err(FragmentError::DontFragment { .. })));
+    }
+
+    #[test]
+    fn mtu_below_68_rejected() {
+        let p = pkt(3000, 5);
+        assert!(matches!(fragment(&p, 60), Err(FragmentError::MtuTooSmall { .. })));
+    }
+
+    #[test]
+    fn planted_spoofed_fragment_wins_under_first_wins() {
+        // Attack mechanics: plant a spoofed second fragment, then deliver the
+        // real fragments. The reassembled payload must contain the spoofed
+        // second half.
+        let p = pkt(2000, 6);
+        let frags = fragment(&p, 1028).unwrap();
+        assert_eq!(frags.len(), 2);
+        let mut spoofed = frags[1].clone();
+        spoofed.payload = Bytes::from(vec![0xEE; spoofed.payload.len()]);
+
+        let mut cache = DefragCache::new(DefragConfig::default());
+        assert!(cache.insert(SimTime::ZERO, &spoofed).is_none());
+        let out = cache
+            .insert(SimTime::from_nanos(1), &frags[0])
+            .expect("first real fragment completes with planted second");
+        assert_eq!(&out.payload[frags[1].payload_offset()..], &spoofed.payload[..]);
+        // The real second fragment now opens a fresh (never-completing) entry.
+        assert!(cache.insert(SimTime::from_nanos(2), &frags[1]).is_none());
+        assert_eq!(cache.pending_reassemblies(), 1);
+    }
+
+    #[test]
+    fn last_wins_policy_lets_real_fragment_replace_spoof() {
+        let p = pkt(2000, 7);
+        let frags = fragment(&p, 1028).unwrap();
+        let mut spoofed = frags[1].clone();
+        spoofed.payload = Bytes::from(vec![0xEE; spoofed.payload.len()]);
+        let mut cache = DefragCache::new(DefragConfig {
+            duplicate_policy: DuplicatePolicy::LastWins,
+            ..DefragConfig::default()
+        });
+        cache.insert(SimTime::ZERO, &spoofed);
+        cache.insert(SimTime::ZERO, &frags[1]); // real second replaces spoof
+        let out = cache.insert(SimTime::ZERO, &frags[0]).unwrap();
+        assert_eq!(out.payload, p.payload);
+    }
+
+    #[test]
+    fn timeout_expires_planted_fragment() {
+        let p = pkt(2000, 8);
+        let frags = fragment(&p, 1028).unwrap();
+        let mut cache = DefragCache::new(DefragConfig::default());
+        cache.insert(SimTime::ZERO, &frags[1]);
+        assert_eq!(cache.pending_reassemblies(), 1);
+        // After the 30 s Linux timeout the planted fragment is gone and the
+        // first fragment alone cannot complete.
+        let late = SimTime::ZERO + SimDuration::from_secs(31);
+        assert!(cache.insert(late, &frags[0]).is_none());
+        assert_eq!(cache.pending_reassemblies(), 1); // only the fresh frag 0
+    }
+
+    #[test]
+    fn per_pair_cap_enforced() {
+        let config = DefragConfig { max_pending_per_pair: 4, ..DefragConfig::default() };
+        let mut cache = DefragCache::new(config);
+        // Plant 10 second-fragments with distinct IPIDs; only 4 fit.
+        let p = pkt(2000, 0);
+        let template = fragment(&p, 1028).unwrap()[1].clone();
+        for id in 0..10u16 {
+            let mut f = template.clone();
+            f.id = id;
+            cache.insert(SimTime::ZERO, &f);
+        }
+        assert_eq!(cache.pending_for_pair(p.src, p.dst), 4);
+        assert_eq!(cache.pending_reassemblies(), 4);
+    }
+
+    #[test]
+    fn reassembled_packet_has_clean_flags() {
+        let p = pkt(2500, 9);
+        let frags = fragment(&p, 576).unwrap();
+        let mut cache = DefragCache::new(DefragConfig::default());
+        let mut out = None;
+        for f in &frags {
+            out = cache.insert(SimTime::ZERO, f);
+        }
+        let out = out.unwrap();
+        assert!(!out.is_fragment());
+        assert_eq!(out.id, p.id);
+        assert_eq!(out.src, p.src);
+    }
+}

@@ -1,0 +1,156 @@
+//! ICMP messages, primarily Destination Unreachable / Fragmentation Needed
+//! (type 3, code 4) — the message an attacker forges to trick a nameserver
+//! into fragmenting its DNS responses (paper §III-1).
+
+use core::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::checksum;
+use crate::error::WireError;
+
+/// An ICMP message relevant to the simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IcmpMessage {
+    /// Destination Unreachable — Fragmentation Needed and DF set
+    /// (type 3, code 4, RFC 1191). Tells the sender of `original` that the
+    /// path MTU towards the destination is `mtu`.
+    FragmentationNeeded {
+        /// The next-hop MTU being advertised.
+        mtu: u16,
+        /// The embedded IP header + first 8 payload bytes of the packet
+        /// that allegedly did not fit.
+        original: Bytes,
+    },
+    /// Echo request (type 8), used by scanners to sample IPID counters.
+    EchoRequest {
+        /// Identifier.
+        id: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier echoed from the request.
+        id: u16,
+        /// Sequence number echoed from the request.
+        seq: u16,
+    },
+}
+
+impl IcmpMessage {
+    /// Encodes the message to wire bytes with a valid ICMP checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            IcmpMessage::FragmentationNeeded { mtu, original } => {
+                buf.put_u8(3); // type: destination unreachable
+                buf.put_u8(4); // code: fragmentation needed and DF set
+                buf.put_u16(0); // checksum placeholder
+                buf.put_u16(0); // unused
+                buf.put_u16(*mtu);
+                buf.put_slice(original);
+            }
+            IcmpMessage::EchoRequest { id, seq } => {
+                buf.put_u8(8);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u16(*id);
+                buf.put_u16(*seq);
+            }
+            IcmpMessage::EchoReply { id, seq } => {
+                buf.put_u8(0);
+                buf.put_u8(0);
+                buf.put_u16(0);
+                buf.put_u16(*id);
+                buf.put_u16(*seq);
+            }
+        }
+        let ck = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Decodes wire bytes, verifying the ICMP checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, checksum failure, or an ICMP
+    /// type/code this simulator does not model.
+    pub fn decode(data: &[u8]) -> Result<IcmpMessage, WireError> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated { needed: 8, got: data.len() });
+        }
+        if !checksum::verify(data) {
+            return Err(WireError::BadChecksum { layer: "icmp" });
+        }
+        match (data[0], data[1]) {
+            (3, 4) => Ok(IcmpMessage::FragmentationNeeded {
+                mtu: u16::from_be_bytes([data[6], data[7]]),
+                original: Bytes::copy_from_slice(&data[8..]),
+            }),
+            (8, 0) => Ok(IcmpMessage::EchoRequest {
+                id: u16::from_be_bytes([data[4], data[5]]),
+                seq: u16::from_be_bytes([data[6], data[7]]),
+            }),
+            (0, 0) => Ok(IcmpMessage::EchoReply {
+                id: u16::from_be_bytes([data[4], data[5]]),
+                seq: u16::from_be_bytes([data[6], data[7]]),
+            }),
+            _ => Err(WireError::BadField { field: "icmp type/code" }),
+        }
+    }
+}
+
+impl fmt::Display for IcmpMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcmpMessage::FragmentationNeeded { mtu, .. } => {
+                write!(f, "ICMP frag-needed mtu={mtu}")
+            }
+            IcmpMessage::EchoRequest { id, seq } => write!(f, "ICMP echo-req id={id} seq={seq}"),
+            IcmpMessage::EchoReply { id, seq } => write!(f, "ICMP echo-rep id={id} seq={seq}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frag_needed_round_trip() {
+        let msg = IcmpMessage::FragmentationNeeded {
+            mtu: 548,
+            original: Bytes::from_static(&[0x45, 0, 0, 28, 0, 0, 0, 0, 64, 17, 0, 0]),
+        };
+        let wire = msg.encode();
+        assert_eq!(IcmpMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        for msg in [
+            IcmpMessage::EchoRequest { id: 77, seq: 3 },
+            IcmpMessage::EchoReply { id: 77, seq: 3 },
+        ] {
+            assert_eq!(IcmpMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_rejected() {
+        let wire = IcmpMessage::EchoRequest { id: 1, seq: 1 }.encode();
+        let mut bad = wire.to_vec();
+        bad[4] ^= 0xFF;
+        assert!(matches!(IcmpMessage::decode(&bad), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut raw = vec![13u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = checksum::checksum(&raw);
+        raw[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(IcmpMessage::decode(&raw), Err(WireError::BadField { .. })));
+    }
+}

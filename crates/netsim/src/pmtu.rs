@@ -1,0 +1,141 @@
+//! Per-destination path-MTU cache, updated by ICMP fragmentation-needed.
+//!
+//! A forged ICMP frag-needed message (paper §III-1) plants a small MTU here;
+//! subsequent large UDP sends to that destination are then fragmented by the
+//! sending stack — which is precisely what makes the DNS response
+//! fragment-replaceable.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::os::PmtudPolicy;
+use crate::time::SimTime;
+
+#[derive(Debug, Clone, Copy)]
+struct PmtuEntry {
+    mtu: u16,
+    expires: SimTime,
+}
+
+/// Cache of learned path MTUs keyed by destination address.
+#[derive(Debug, Default)]
+pub struct PmtuCache {
+    entries: HashMap<Ipv4Addr, PmtuEntry>,
+}
+
+impl PmtuCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PmtuCache::default()
+    }
+
+    /// Processes an ICMP frag-needed claiming `claimed_mtu` towards `dst`,
+    /// under `policy`. Returns the MTU actually recorded, if any.
+    ///
+    /// Claims below the policy's minimum are **clamped up** to the minimum
+    /// (Linux `min_pmtu` semantics) rather than ignored: the host still
+    /// fragments, but never to fragments smaller than its floor. This is
+    /// what produces the "minimum fragment size emitted" distribution in
+    /// Fig. 5 of the paper.
+    pub fn on_frag_needed(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        claimed_mtu: u16,
+        policy: &PmtudPolicy,
+    ) -> Option<u16> {
+        if !policy.honour_icmp {
+            return None;
+        }
+        let mtu = claimed_mtu.max(policy.min_accepted_mtu);
+        let expires = now + policy.cache_lifetime;
+        let entry = self.entries.entry(dst).or_insert(PmtuEntry { mtu, expires });
+        // Only ever lower the recorded MTU within its lifetime.
+        if mtu < entry.mtu || entry.expires <= now {
+            *entry = PmtuEntry { mtu, expires };
+        } else {
+            entry.expires = expires;
+        }
+        Some(entry.mtu)
+    }
+
+    /// Returns the effective MTU towards `dst`: the cached value if fresh,
+    /// else `interface_mtu`.
+    pub fn mtu_towards(&mut self, now: SimTime, dst: Ipv4Addr, interface_mtu: u16) -> u16 {
+        match self.entries.get(&dst) {
+            Some(entry) if entry.expires > now => entry.mtu.min(interface_mtu),
+            Some(_) => {
+                self.entries.remove(&dst);
+                interface_mtu
+            }
+            None => interface_mtu,
+        }
+    }
+
+    /// Number of destinations with a cached path MTU.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no path MTUs are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 5);
+
+    #[test]
+    fn frag_needed_lowers_mtu() {
+        let mut cache = PmtuCache::new();
+        let policy = PmtudPolicy::honour_down_to(548);
+        assert_eq!(cache.mtu_towards(SimTime::ZERO, DST, 1500), 1500);
+        let recorded = cache.on_frag_needed(SimTime::ZERO, DST, 600, &policy);
+        assert_eq!(recorded, Some(600));
+        assert_eq!(cache.mtu_towards(SimTime::ZERO, DST, 1500), 600);
+    }
+
+    #[test]
+    fn claims_below_floor_are_clamped() {
+        let mut cache = PmtuCache::new();
+        let policy = PmtudPolicy::honour_down_to(548);
+        let recorded = cache.on_frag_needed(SimTime::ZERO, DST, 68, &policy);
+        assert_eq!(recorded, Some(548));
+    }
+
+    #[test]
+    fn ignoring_policy_records_nothing() {
+        let mut cache = PmtuCache::new();
+        let policy = PmtudPolicy::ignore();
+        assert_eq!(cache.on_frag_needed(SimTime::ZERO, DST, 296, &policy), None);
+        assert_eq!(cache.mtu_towards(SimTime::ZERO, DST, 1500), 1500);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut cache = PmtuCache::new();
+        let policy = PmtudPolicy::honour_down_to(548);
+        cache.on_frag_needed(SimTime::ZERO, DST, 600, &policy);
+        let later = SimTime::ZERO + SimDuration::from_secs(601);
+        assert_eq!(cache.mtu_towards(later, DST, 1500), 1500);
+    }
+
+    #[test]
+    fn mtu_only_lowers_within_lifetime() {
+        let mut cache = PmtuCache::new();
+        let policy = PmtudPolicy::honour_down_to(296);
+        cache.on_frag_needed(SimTime::ZERO, DST, 400, &policy);
+        // A later, larger claim must not raise the cached value.
+        cache.on_frag_needed(SimTime::ZERO, DST, 1200, &policy);
+        assert_eq!(cache.mtu_towards(SimTime::ZERO, DST, 1500), 400);
+        // A smaller claim lowers it further.
+        cache.on_frag_needed(SimTime::ZERO, DST, 296, &policy);
+        assert_eq!(cache.mtu_towards(SimTime::ZERO, DST, 1500), 296);
+    }
+}

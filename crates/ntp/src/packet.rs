@@ -1,0 +1,342 @@
+//! The 48-byte NTP packet (RFC 5905 §7.3) plus the mode-6 control messages
+//! used by the configuration-interface leak (§IV-B2c of the paper).
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use netsim::error::WireError;
+
+use crate::timestamp::NtpTimestamp;
+
+/// The well-known NTP port.
+pub const NTP_PORT: u16 = 123;
+
+/// Packet modes relevant to the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NtpMode {
+    /// Client request.
+    Client,
+    /// Server response.
+    Server,
+    /// Control (mode 6) message — the ntpdc/ntpq interface.
+    Control,
+    /// Anything else (symmetric, broadcast…), carried opaquely.
+    Other(u8),
+}
+
+impl NtpMode {
+    /// Wire value (3 bits).
+    pub fn code(self) -> u8 {
+        match self {
+            NtpMode::Client => 3,
+            NtpMode::Server => 4,
+            NtpMode::Control => 6,
+            NtpMode::Other(code) => code & 0x7,
+        }
+    }
+
+    /// Parses the wire value.
+    pub fn from_code(code: u8) -> NtpMode {
+        match code & 0x7 {
+            3 => NtpMode::Client,
+            4 => NtpMode::Server,
+            6 => NtpMode::Control,
+            other => NtpMode::Other(other),
+        }
+    }
+}
+
+/// The Kiss-o'-Death "RATE" reference identifier (RFC 5905 §7.4).
+pub const KOD_RATE: [u8; 4] = *b"RATE";
+
+/// A mode 3/4 NTP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NtpPacket {
+    /// Leap indicator (0 = none, 3 = unsynchronised).
+    pub leap: u8,
+    /// Protocol version (4).
+    pub version: u8,
+    /// Packet mode.
+    pub mode: NtpMode,
+    /// Stratum; 0 encodes a Kiss-o'-Death packet.
+    pub stratum: u8,
+    /// Log2 poll interval.
+    pub poll: i8,
+    /// Log2 precision.
+    pub precision: i8,
+    /// Root delay (NTP short format, opaque here).
+    pub root_delay: u32,
+    /// Root dispersion (opaque).
+    pub root_dispersion: u32,
+    /// Reference ID: KoD code for stratum 0, upstream IPv4 for stratum ≥ 2
+    /// — the leak exploited by attack scenario P2.
+    pub ref_id: [u8; 4],
+    /// Reference timestamp.
+    pub ref_ts: NtpTimestamp,
+    /// Origin timestamp (echoed client transmit time).
+    pub origin_ts: NtpTimestamp,
+    /// Receive timestamp.
+    pub recv_ts: NtpTimestamp,
+    /// Transmit timestamp.
+    pub xmit_ts: NtpTimestamp,
+}
+
+impl NtpPacket {
+    /// A fresh client (mode 3) request with transmit time `xmit`.
+    pub fn client_request(xmit: NtpTimestamp) -> NtpPacket {
+        NtpPacket {
+            leap: 0,
+            version: 4,
+            mode: NtpMode::Client,
+            stratum: 0,
+            poll: 6,
+            precision: -20,
+            root_delay: 0,
+            root_dispersion: 0,
+            ref_id: [0; 4],
+            ref_ts: NtpTimestamp::ZERO,
+            origin_ts: NtpTimestamp::ZERO,
+            recv_ts: NtpTimestamp::ZERO,
+            xmit_ts: xmit,
+        }
+    }
+
+    /// A server (mode 4) response to `request`.
+    pub fn server_response(
+        request: &NtpPacket,
+        stratum: u8,
+        ref_id: [u8; 4],
+        recv: NtpTimestamp,
+        xmit: NtpTimestamp,
+    ) -> NtpPacket {
+        NtpPacket {
+            leap: 0,
+            version: 4,
+            mode: NtpMode::Server,
+            stratum,
+            poll: request.poll,
+            precision: -20,
+            root_delay: 0x0000_0100,
+            root_dispersion: 0x0000_0100,
+            ref_id,
+            ref_ts: recv,
+            origin_ts: request.xmit_ts,
+            recv_ts: recv,
+            xmit_ts: xmit,
+        }
+    }
+
+    /// A Kiss-o'-Death RATE packet answering `request` (stratum 0).
+    pub fn kiss_of_death(request: &NtpPacket, xmit: NtpTimestamp) -> NtpPacket {
+        NtpPacket {
+            stratum: 0,
+            ref_id: KOD_RATE,
+            ..NtpPacket::server_response(request, 0, KOD_RATE, xmit, xmit)
+        }
+    }
+
+    /// True if this is a Kiss-o'-Death RATE packet.
+    pub fn is_kod(&self) -> bool {
+        self.mode == NtpMode::Server && self.stratum == 0 && self.ref_id == KOD_RATE
+    }
+
+    /// The upstream server address leaked in the refid, for stratum ≥ 2
+    /// responses (attack scenario P2 reads this).
+    pub fn upstream_addr(&self) -> Option<Ipv4Addr> {
+        if self.mode == NtpMode::Server && self.stratum >= 2 {
+            Some(Ipv4Addr::from(self.ref_id))
+        } else {
+            None
+        }
+    }
+
+    /// Encodes to the 48-byte wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(48);
+        buf.put_u8((self.leap & 0x3) << 6 | (self.version & 0x7) << 3 | self.mode.code());
+        buf.put_u8(self.stratum);
+        buf.put_i8(self.poll);
+        buf.put_i8(self.precision);
+        buf.put_u32(self.root_delay);
+        buf.put_u32(self.root_dispersion);
+        buf.put_slice(&self.ref_id);
+        buf.put_u64(self.ref_ts.to_bits());
+        buf.put_u64(self.origin_ts.to_bits());
+        buf.put_u64(self.recv_ts.to_bits());
+        buf.put_u64(self.xmit_ts.to_bits());
+        buf.freeze()
+    }
+
+    /// Decodes from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] for inputs under 48 bytes.
+    pub fn decode(data: &[u8]) -> Result<NtpPacket, WireError> {
+        if data.len() < 48 {
+            return Err(WireError::Truncated { needed: 48, got: data.len() });
+        }
+        let u64_at = |i: usize| {
+            u64::from_be_bytes(data[i..i + 8].try_into().expect("slice of 8"))
+        };
+        Ok(NtpPacket {
+            leap: data[0] >> 6,
+            version: (data[0] >> 3) & 0x7,
+            mode: NtpMode::from_code(data[0]),
+            stratum: data[1],
+            poll: data[2] as i8,
+            precision: data[3] as i8,
+            root_delay: u32::from_be_bytes(data[4..8].try_into().expect("4")),
+            root_dispersion: u32::from_be_bytes(data[8..12].try_into().expect("4")),
+            ref_id: data[12..16].try_into().expect("4"),
+            ref_ts: NtpTimestamp::from_bits(u64_at(16)),
+            origin_ts: NtpTimestamp::from_bits(u64_at(24)),
+            recv_ts: NtpTimestamp::from_bits(u64_at(32)),
+            xmit_ts: NtpTimestamp::from_bits(u64_at(40)),
+        })
+    }
+}
+
+impl fmt::Display for NtpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NTPv{} mode={} stratum={} xmit={}",
+            self.version,
+            self.mode.code(),
+            self.stratum,
+            self.xmit_ts
+        )
+    }
+}
+
+/// A minimal mode-6 control exchange: `PeersRequest` asks a server for its
+/// upstream peers; `PeersResponse` lists them. Real ntpd exposes this via
+/// `ntpq -c rv` / readvar; the simulation carries the list directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// Request the peer list.
+    PeersRequest,
+    /// The configured/active upstream peers.
+    PeersResponse(Vec<Ipv4Addr>),
+}
+
+impl ControlMessage {
+    /// Opcode used on the wire for the peers exchange.
+    const OP_PEERS: u8 = 1;
+
+    /// Encodes the control message: a mode-6 first byte, an opcode, a count
+    /// and the peer addresses.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x26); // LI=0, VN=4, mode=6
+        match self {
+            ControlMessage::PeersRequest => {
+                buf.put_u8(Self::OP_PEERS);
+                buf.put_u8(0); // response flag
+                buf.put_u8(0); // count
+            }
+            ControlMessage::PeersResponse(peers) => {
+                buf.put_u8(Self::OP_PEERS);
+                buf.put_u8(1);
+                buf.put_u8(peers.len().min(255) as u8);
+                for p in peers.iter().take(255) {
+                    buf.put_slice(&p.octets());
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a control message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or a non-control mode byte.
+    pub fn decode(data: &[u8]) -> Result<ControlMessage, WireError> {
+        if data.len() < 4 {
+            return Err(WireError::Truncated { needed: 4, got: data.len() });
+        }
+        if data[0] & 0x7 != 6 || data[1] != Self::OP_PEERS {
+            return Err(WireError::BadField { field: "control mode/opcode" });
+        }
+        if data[2] == 0 {
+            return Ok(ControlMessage::PeersRequest);
+        }
+        let count = usize::from(data[3]);
+        if data.len() < 4 + count * 4 {
+            return Err(WireError::Truncated { needed: 4 + count * 4, got: data.len() });
+        }
+        let peers = (0..count)
+            .map(|i| {
+                let o = 4 + i * 4;
+                Ipv4Addr::new(data[o], data[o + 1], data[o + 2], data[o + 3])
+            })
+            .collect();
+        Ok(ControlMessage::PeersResponse(peers))
+    }
+}
+
+/// Distinguishes NTP datagram payloads without full decoding.
+pub fn peek_mode(data: &[u8]) -> Option<NtpMode> {
+    data.first().map(|b| NtpMode::from_code(*b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::NtpDuration;
+
+    #[test]
+    fn packet_round_trip() {
+        let t = NtpTimestamp::from_secs_nanos(3_850_000_100, 123_456_789);
+        let req = NtpPacket::client_request(t);
+        let wire = req.encode();
+        assert_eq!(wire.len(), 48);
+        assert_eq!(NtpPacket::decode(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn server_response_echoes_origin() {
+        let t1 = NtpTimestamp::from_secs_nanos(3_850_000_100, 0);
+        let req = NtpPacket::client_request(t1);
+        let t2 = t1 + NtpDuration::from_secs_f64(0.05);
+        let resp = NtpPacket::server_response(&req, 2, [192, 0, 2, 1], t2, t2);
+        assert_eq!(resp.origin_ts, t1);
+        assert_eq!(resp.upstream_addr(), Some(Ipv4Addr::new(192, 0, 2, 1)));
+        assert!(!resp.is_kod());
+    }
+
+    #[test]
+    fn kod_detected() {
+        let req = NtpPacket::client_request(NtpTimestamp::ZERO);
+        let kod = NtpPacket::kiss_of_death(&req, NtpTimestamp::ZERO);
+        let back = NtpPacket::decode(&kod.encode()).unwrap();
+        assert!(back.is_kod());
+        assert_eq!(back.upstream_addr(), None);
+    }
+
+    #[test]
+    fn short_packet_rejected() {
+        assert!(NtpPacket::decode(&[0u8; 47]).is_err());
+    }
+
+    #[test]
+    fn control_round_trip() {
+        let req = ControlMessage::PeersRequest;
+        assert_eq!(ControlMessage::decode(&req.encode()).unwrap(), req);
+        let resp = ControlMessage::PeersResponse(vec![
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+        ]);
+        assert_eq!(ControlMessage::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn peek_mode_distinguishes_control() {
+        let req = NtpPacket::client_request(NtpTimestamp::ZERO);
+        assert_eq!(peek_mode(&req.encode()), Some(NtpMode::Client));
+        assert_eq!(peek_mode(&ControlMessage::PeersRequest.encode()), Some(NtpMode::Control));
+    }
+}

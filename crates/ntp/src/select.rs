@@ -1,0 +1,149 @@
+//! Clock selection: picking the offset to apply from multiple servers.
+//!
+//! A simplified majority-cluster algorithm in the spirit of ntpd's
+//! intersection/cluster algorithms: sort the candidate offsets, find the
+//! largest group that fits inside a window, and accept its mean only if the
+//! group is a strict majority of the candidates. This is the property the
+//! paper leans on: shifting a victim requires shifting a **majority** of
+//! its sources (§V-B), which the DNS attack achieves by replacing the
+//! sources wholesale.
+
+use std::net::Ipv4Addr;
+
+use crate::timestamp::NtpDuration;
+
+/// One server's offset sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetSample {
+    /// The server that produced the sample.
+    pub server: Ipv4Addr,
+    /// Measured offset (server − client).
+    pub offset: NtpDuration,
+    /// Measured round-trip delay.
+    pub delay: NtpDuration,
+}
+
+/// The outcome of a selection round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Mean offset of the winning cluster.
+    pub offset: NtpDuration,
+    /// The servers in the winning cluster ("truechimers").
+    pub survivors: Vec<Ipv4Addr>,
+}
+
+/// Finds the majority cluster among `samples` using `window` as the maximum
+/// spread inside a cluster. Returns `None` when no strict majority agrees —
+/// the "falsetickers ≥ truechimers" case where ntpd refuses to set the
+/// clock.
+pub fn select(samples: &[OffsetSample], window: NtpDuration) -> Option<Selection> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<&OffsetSample> = samples.iter().collect();
+    sorted.sort_by_key(|s| s.offset);
+    // Largest window-bounded run.
+    let mut best: Option<(usize, usize)> = None; // (start, len)
+    let mut start = 0;
+    for end in 0..sorted.len() {
+        while sorted[end].offset - sorted[start].offset > window {
+            start += 1;
+        }
+        let len = end - start + 1;
+        if best.map(|(_, l)| len > l).unwrap_or(true) {
+            best = Some((start, len));
+        }
+    }
+    let (start, len) = best.expect("samples nonempty");
+    if len * 2 <= samples.len() {
+        return None; // no strict majority
+    }
+    let cluster = &sorted[start..start + len];
+    let mean_nanos: i64 =
+        (cluster.iter().map(|s| i128::from(s.offset.as_nanos())).sum::<i128>() / len as i128) as i64;
+    Some(Selection {
+        offset: NtpDuration::from_nanos(mean_nanos),
+        survivors: cluster.iter().map(|s| s.server).collect(),
+    })
+}
+
+/// The default cluster window used by the clients (400 ms: generous against
+/// network jitter, tiny against a 500 s shift).
+pub fn default_window() -> NtpDuration {
+    NtpDuration::from_nanos(400_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u8, offset_s: f64) -> OffsetSample {
+        OffsetSample {
+            server: Ipv4Addr::new(192, 0, 2, i),
+            offset: NtpDuration::from_secs_f64(offset_s),
+            delay: NtpDuration::from_nanos(40_000_000),
+        }
+    }
+
+    #[test]
+    fn honest_majority_wins_over_one_liar() {
+        let samples = [
+            sample(1, 0.001),
+            sample(2, -0.002),
+            sample(3, 0.003),
+            sample(4, -500.0), // the falseticker
+        ];
+        let sel = select(&samples, default_window()).unwrap();
+        assert_eq!(sel.survivors.len(), 3);
+        assert!(sel.offset.as_secs_f64().abs() < 0.01);
+    }
+
+    #[test]
+    fn attacker_majority_shifts_clock() {
+        // After the DNS attack the client's sources are mostly malicious and
+        // all agree on −500 s.
+        let samples = [
+            sample(1, -500.0),
+            sample(2, -500.001),
+            sample(3, -499.999),
+            sample(4, 0.0), // lone honest survivor
+        ];
+        let sel = select(&samples, default_window()).unwrap();
+        assert_eq!(sel.survivors.len(), 3);
+        assert!((sel.offset.as_secs_f64() + 500.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn split_brain_yields_no_selection() {
+        let samples = [sample(1, 0.0), sample(2, -500.0)];
+        assert!(select(&samples, default_window()).is_none());
+    }
+
+    #[test]
+    fn exact_half_is_not_a_majority() {
+        let samples = [sample(1, 0.0), sample(2, 0.001), sample(3, -500.0), sample(4, -500.001)];
+        assert!(select(&samples, default_window()).is_none());
+    }
+
+    #[test]
+    fn single_sample_is_accepted() {
+        // SNTP clients trust their lone server — the reason boot-time
+        // attacks need no majority at all.
+        let samples = [sample(1, -500.0)];
+        let sel = select(&samples, default_window()).unwrap();
+        assert_eq!(sel.survivors.len(), 1);
+        assert!((sel.offset.as_secs_f64() + 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        assert!(select(&[], default_window()).is_none());
+    }
+
+    #[test]
+    fn mean_of_cluster_is_returned() {
+        let samples = [sample(1, 0.1), sample(2, 0.2), sample(3, 0.3)];
+        let sel = select(&samples, NtpDuration::from_secs(1)).unwrap();
+        assert!((sel.offset.as_secs_f64() - 0.2).abs() < 1e-9);
+    }
+}

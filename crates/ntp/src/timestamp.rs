@@ -1,0 +1,237 @@
+//! NTP timestamps: 64-bit fixed point (32-bit seconds since 1900-01-01,
+//! 32-bit fraction), and their mapping onto simulated time.
+//!
+//! The simulation fixes an epoch: `SimTime::ZERO` corresponds to NTP second
+//! [`SIM_NTP_EPOCH`]. "True time" is `epoch + sim_now`; clocks are offsets
+//! against it.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+use netsim::time::SimTime;
+
+/// The NTP second corresponding to `SimTime::ZERO` (an arbitrary instant in
+/// the NTP era-0 range, ≈ 2021).
+pub const SIM_NTP_EPOCH: u64 = 3_850_000_000;
+
+/// A 64-bit NTP timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NtpTimestamp(u64);
+
+/// A signed time difference with nanosecond resolution.
+///
+/// Offsets in the reproduction reach ±500 s; an `i64` of nanoseconds covers
+/// ±292 years.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NtpDuration {
+    nanos: i64,
+}
+
+impl NtpTimestamp {
+    /// The zero timestamp (special "unknown" value on the wire).
+    pub const ZERO: NtpTimestamp = NtpTimestamp(0);
+
+    /// Builds from the raw 64-bit wire value.
+    pub const fn from_bits(bits: u64) -> Self {
+        NtpTimestamp(bits)
+    }
+
+    /// The raw 64-bit wire value.
+    pub const fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds from whole NTP seconds and a fraction in nanoseconds.
+    pub fn from_secs_nanos(secs: u64, nanos: u32) -> Self {
+        let frac = (u64::from(nanos) << 32) / 1_000_000_000;
+        NtpTimestamp((secs << 32) | frac)
+    }
+
+    /// Whole NTP seconds.
+    pub fn secs(self) -> u64 {
+        self.0 >> 32
+    }
+
+    /// Sub-second part in nanoseconds.
+    pub fn subsec_nanos(self) -> u32 {
+        (((self.0 & 0xFFFF_FFFF) * 1_000_000_000) >> 32) as u32
+    }
+
+    /// The "true time" timestamp at simulated instant `now`.
+    pub fn at_sim_time(now: SimTime) -> Self {
+        let total_nanos = now.as_nanos();
+        NtpTimestamp::from_secs_nanos(
+            SIM_NTP_EPOCH + total_nanos / 1_000_000_000,
+            (total_nanos % 1_000_000_000) as u32,
+        )
+    }
+
+    /// Total nanoseconds since the NTP era origin (for differencing).
+    fn total_nanos(self) -> i128 {
+        i128::from(self.secs()) * 1_000_000_000 + i128::from(self.subsec_nanos())
+    }
+}
+
+impl NtpDuration {
+    /// The zero duration.
+    pub const ZERO: NtpDuration = NtpDuration { nanos: 0 };
+
+    /// Builds from signed nanoseconds.
+    pub const fn from_nanos(nanos: i64) -> Self {
+        NtpDuration { nanos }
+    }
+
+    /// Builds from signed seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        NtpDuration { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Builds from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite(), "duration must be finite");
+        NtpDuration { nanos: (secs * 1e9).round() as i64 }
+    }
+
+    /// Signed nanoseconds.
+    pub const fn as_nanos(self) -> i64 {
+        self.nanos
+    }
+
+    /// Signed fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> NtpDuration {
+        NtpDuration { nanos: self.nanos.saturating_abs() }
+    }
+
+    /// Halves the duration (used by the offset formula).
+    pub fn half(self) -> NtpDuration {
+        NtpDuration { nanos: self.nanos / 2 }
+    }
+}
+
+impl Sub for NtpTimestamp {
+    type Output = NtpDuration;
+
+    fn sub(self, rhs: NtpTimestamp) -> NtpDuration {
+        let diff = self.total_nanos() - rhs.total_nanos();
+        NtpDuration { nanos: diff.clamp(i64::MIN as i128, i64::MAX as i128) as i64 }
+    }
+}
+
+impl Add<NtpDuration> for NtpTimestamp {
+    type Output = NtpTimestamp;
+
+    fn add(self, rhs: NtpDuration) -> NtpTimestamp {
+        let total = self.total_nanos() + i128::from(rhs.nanos);
+        let total = total.max(0) as u128;
+        NtpTimestamp::from_secs_nanos((total / 1_000_000_000) as u64, (total % 1_000_000_000) as u32)
+    }
+}
+
+impl Add for NtpDuration {
+    type Output = NtpDuration;
+
+    fn add(self, rhs: NtpDuration) -> NtpDuration {
+        NtpDuration { nanos: self.nanos.saturating_add(rhs.nanos) }
+    }
+}
+
+impl Sub for NtpDuration {
+    type Output = NtpDuration;
+
+    fn sub(self, rhs: NtpDuration) -> NtpDuration {
+        NtpDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+}
+
+impl fmt::Display for NtpTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:09}", self.secs(), self.subsec_nanos())
+    }
+}
+
+impl fmt::Display for NtpDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}s", self.as_secs_f64())
+    }
+}
+
+/// Computes the standard NTP offset and delay from the four timestamps
+/// (RFC 5905 §8): `t1` client transmit, `t2` server receive, `t3` server
+/// transmit, `t4` client receive.
+///
+/// offset = ((t2 − t1) + (t3 − t4)) / 2, delay = (t4 − t1) − (t3 − t2).
+pub fn offset_and_delay(
+    t1: NtpTimestamp,
+    t2: NtpTimestamp,
+    t3: NtpTimestamp,
+    t4: NtpTimestamp,
+) -> (NtpDuration, NtpDuration) {
+    let offset = ((t2 - t1) + (t3 - t4)).half();
+    let delay = (t4 - t1) - (t3 - t2);
+    (offset, delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::SimDuration;
+
+    #[test]
+    fn secs_nanos_round_trip() {
+        let ts = NtpTimestamp::from_secs_nanos(SIM_NTP_EPOCH, 500_000_000);
+        assert_eq!(ts.secs(), SIM_NTP_EPOCH);
+        let err = i64::from(ts.subsec_nanos()) - 500_000_000;
+        assert!(err.abs() < 2, "fraction conversion error {err} ns");
+    }
+
+    #[test]
+    fn sim_time_mapping() {
+        let t = SimTime::ZERO + SimDuration::from_millis(1_500);
+        let ts = NtpTimestamp::at_sim_time(t);
+        assert_eq!(ts.secs(), SIM_NTP_EPOCH + 1);
+        assert!((i64::from(ts.subsec_nanos()) - 500_000_000).abs() < 2);
+    }
+
+    #[test]
+    fn subtraction_gives_signed_difference() {
+        let a = NtpTimestamp::from_secs_nanos(100, 0);
+        let b = NtpTimestamp::from_secs_nanos(600, 0);
+        assert_eq!((b - a).as_secs_f64(), 500.0);
+        assert_eq!((a - b).as_secs_f64(), -500.0);
+    }
+
+    #[test]
+    fn add_duration_round_trips() {
+        let a = NtpTimestamp::from_secs_nanos(1000, 250_000_000);
+        let d = NtpDuration::from_secs_f64(-500.25);
+        let b = a + d;
+        assert!(((b - a).as_secs_f64() - (-500.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offset_formula_symmetric_path() {
+        // Client at true time, server shifted by -500 s, symmetric 50 ms path.
+        let t1 = NtpTimestamp::from_secs_nanos(SIM_NTP_EPOCH, 0);
+        let t2 = t1 + NtpDuration::from_secs_f64(-500.0 + 0.05);
+        let t3 = t2 + NtpDuration::from_secs_f64(0.001);
+        let t4 = t1 + NtpDuration::from_secs_f64(0.101);
+        let (offset, delay) = offset_and_delay(t1, t2, t3, t4);
+        assert!((offset.as_secs_f64() + 500.0).abs() < 1e-6, "offset {offset}");
+        assert!((delay.as_secs_f64() - 0.1).abs() < 1e-6, "delay {delay}");
+    }
+
+    #[test]
+    fn wire_bits_round_trip() {
+        let ts = NtpTimestamp::from_secs_nanos(3_850_000_123, 999_999_999);
+        assert_eq!(NtpTimestamp::from_bits(ts.to_bits()), ts);
+    }
+}

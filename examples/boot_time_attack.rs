@@ -1,0 +1,32 @@
+//! Boot-time attack across all seven NTP client implementations — the
+//! live reproduction of Table I's boot-time column.
+//!
+//! ```sh
+//! cargo run --release --example boot_time_attack
+//! ```
+
+use timeshift::prelude::*;
+
+fn main() {
+    println!("== Table I (live): boot-time attack vs every client model ==\n");
+    println!("{:<12} {:>10} {:>12} {:>16}", "client", "pool-share", "boot-attack", "observed shift");
+    for kind in ClientKind::all() {
+        let outcome = run_boot_time_attack(
+            ScenarioConfig { seed: 42 ^ kind as u64, ..ScenarioConfig::default() },
+            kind,
+        );
+        let share = kind
+            .pool_share()
+            .map(|s| format!("{:.1}%", s * 100.0))
+            .unwrap_or_else(|| "n/l".into());
+        println!(
+            "{:<12} {share:>10} {:>12} {:>14.1}s",
+            kind.name(),
+            if outcome.success { "SHIFTED" } else { "survived" },
+            outcome.observed_shift
+        );
+    }
+    println!("\n(paper: every client is vulnerable at boot — there is no");
+    println!(" mitigation for the very first DNS lookup; §V-A1)");
+    println!("\n{}", experiments::boot_budget());
+}

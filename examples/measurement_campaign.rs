@@ -1,0 +1,45 @@
+//! The full measurement campaign: regenerates every survey-style table and
+//! figure of the paper's evaluation (Tables I, III, IV, V; Figs. 5, 6, 7;
+//! the §VII-A rate-limit scan; the §VIII-B3 shared-resolver study).
+//!
+//! ```sh
+//! cargo run --release --example measurement_campaign            # quick scale
+//! cargo run --release --example measurement_campaign -- --paper # full scale
+//! ```
+
+use timeshift::prelude::*;
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let scale = if paper { Scale::paper() } else { Scale::quick() };
+    println!("== timeshift measurement campaign (scale: {scale:?}) ==\n");
+
+    println!("{}", experiments::format_table1(&experiments::table1(scale.seed)));
+
+    println!("{}", experiments::format_table3(&experiments::table3()));
+
+    let survey = experiments::resolver_survey(scale);
+    println!("{}", experiments::format_table4(&survey));
+    println!("{}", experiments::format_fig6(&survey));
+    println!("{}", experiments::format_fig7(&survey));
+
+    println!("{}", experiments::format_table5(&experiments::table5(scale)));
+
+    println!("{}", experiments::format_fig5(&experiments::fig5(scale)));
+
+    let pool_ns = experiments::pool_ns_scan(scale);
+    println!(
+        "§VII-B — pool.ntp.org nameservers: {}/{} fragment <= 548 B (paper: 16/30), {} signed (paper: 0)\n",
+        pool_ns.cdf.iter().find(|(t, _)| *t == 548).map(|(_, c)| *c).unwrap_or(0),
+        pool_ns.scanned,
+        pool_ns.signed
+    );
+
+    println!("{}", experiments::format_ratelimit(&experiments::ratelimit_scan(scale)));
+
+    println!("{}", experiments::format_shared(&experiments::shared_scan(scale)));
+
+    println!("{}", experiments::format_chronos_bound(&experiments::chronos_bound()));
+
+    println!("{}", experiments::boot_budget());
+}

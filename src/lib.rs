@@ -1,0 +1,7 @@
+//! Thin root crate for the `timeshift` reproduction workspace.
+//!
+//! The real functionality lives in the workspace crates; this package exists
+//! to host the runnable [examples](../examples) and the cross-crate
+//! integration tests under `tests/`. See [`timeshift`] for the public API.
+
+pub use timeshift;
