@@ -56,7 +56,7 @@ pub fn fix_fragment_sum(
     modified: &mut [u8],
     slack_offset: usize,
 ) -> Result<(), FixError> {
-    if slack_offset % 2 != 0 {
+    if !slack_offset.is_multiple_of(2) {
         return Err(FixError::UnalignedSlack { offset: slack_offset });
     }
     if slack_offset + 2 > modified.len() {

@@ -143,7 +143,7 @@ pub fn forge_tail(observed_dns: &[u8], mtu: u16, attacker_ns: Ipv4Addr) -> Resul
     let slack = glue
         .iter()
         .rev()
-        .find(|s| (s.rdata_offset + UDP_HEADER_LEN) % 2 == 0)
+        .find(|s| (s.rdata_offset + UDP_HEADER_LEN).is_multiple_of(2))
         .copied();
     let Some(slack) = slack else {
         return Err(ForgeError::NoSlackCandidate);

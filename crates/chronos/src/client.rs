@@ -215,11 +215,9 @@ impl Host for ChronosClient {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         match token {
-            TIMER_DNS => {
-                if !self.generator.complete() {
-                    self.issue_dns(ctx);
-                    ctx.set_timer(self.schedule.dns_interval, TIMER_DNS);
-                }
+            TIMER_DNS if !self.generator.complete() => {
+                self.issue_dns(ctx);
+                ctx.set_timer(self.schedule.dns_interval, TIMER_DNS);
             }
             TIMER_POLL => {
                 if self.round.is_none() {

@@ -15,7 +15,7 @@
 //!
 //! ## Quickstart
 //!
-//! ```no_run
+//! ```
 //! use timeshift::prelude::*;
 //!
 //! // Full boot-time attack against an ntpd-like client:

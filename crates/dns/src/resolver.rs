@@ -465,7 +465,6 @@ impl Host for Resolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::auth::AuthServer;
     use crate::stub::lookup_once;
     use crate::zone::pool_zone;
 

@@ -277,15 +277,34 @@ pub fn ad_clients_scaled(seed: u64, scale: f64) -> Vec<AdClientSpec> {
     let mut out = Vec::new();
     for region in Region::all() {
         let count = ((region.client_count() as f64 * scale) as usize).max(30);
+        // Table V reports exact per-region counts, so the resolver classes
+        // are assigned by quota (stratified sampling) rather than drawn
+        // independently: the marginals then recover the paper's numbers by
+        // construction at any population scale. Only the within-region
+        // order and the per-client mobile/validates flags stay random.
+        //
         // ~13.5 % of dataset-1 clients used Google resolvers (791/5847).
         let p_google = if region == Region::NorthernAmerica { 0.10 } else { 0.135 };
-        for _ in 0..count {
-            let google_resolver = rng.random_bool(p_google);
-            let min_fragment_accepted = if google_resolver {
-                1000 // filters everything below "big"
-            } else {
-                sample_min_accept(&mut rng, region)
-            };
+        let n_google = (count as f64 * p_google).round() as usize;
+        let n_tiny = (count as f64 * region.p_accept_tiny()).round() as usize;
+        // accept-any covers tiny-acceptors, partial acceptors and Google
+        // (which accepts only big fragments but accepts *some*).
+        let n_any = (count as f64 * region.p_accept_any()).round() as usize;
+        let n_partial = n_any.saturating_sub(n_tiny + n_google);
+        let n_reject = count - n_tiny - n_partial - n_google;
+
+        // (google_resolver, min_fragment_accepted) per quota class.
+        let mut classes: Vec<(bool, u16)> = Vec::with_capacity(count);
+        classes.extend(std::iter::repeat_n((false, 0), n_tiny));
+        classes.extend((0..n_partial).map(|i| (false, [200u16, 500, 1000][i % 3])));
+        classes.extend(std::iter::repeat_n((true, 1000), n_google));
+        classes.extend(std::iter::repeat_n((false, u16::MAX), n_reject));
+        // Fisher–Yates so class membership is uncorrelated with position.
+        for i in (1..classes.len()).rev() {
+            classes.swap(i, rng.random_range(0..=i));
+        }
+
+        for (google_resolver, min_fragment_accepted) in classes {
             out.push(AdClientSpec {
                 region,
                 mobile: rng.random_bool(0.53),
@@ -296,25 +315,6 @@ pub fn ad_clients_scaled(seed: u64, scale: f64) -> Vec<AdClientSpec> {
         }
     }
     out
-}
-
-/// Samples the non-Google fragment-acceptance floor for a region, shaped so
-/// the *overall* (incl. Google) marginals land on Table V's
-/// `p_accept_tiny` / `p_accept_any`.
-fn sample_min_accept(rng: &mut SmallRng, region: Region) -> u16 {
-    let p_google = if region == Region::NorthernAmerica { 0.10 } else { 0.135 };
-    // Overall: P(tiny) = (1-g)·x → x = P(tiny)/(1-g); Google accepts "any".
-    let x_tiny = (region.p_accept_tiny() / (1.0 - p_google)).min(1.0);
-    let x_any = ((region.p_accept_any() - p_google) / (1.0 - p_google)).clamp(x_tiny, 1.0);
-    let roll: f64 = rng.random();
-    if roll < x_tiny {
-        0 // accepts even 68-byte fragments
-    } else if roll < x_any {
-        // Accepts some size: spread over small/medium/big thresholds.
-        *[200u16, 500, 1000].get(rng.random_range(0..3)).expect("3 choices")
-    } else {
-        u16::MAX // rejects all fragments
-    }
 }
 
 /// A web-client resolver for the §VIII-B3 shared-resolver study.

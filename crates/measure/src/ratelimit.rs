@@ -106,10 +106,8 @@ impl Host for Scanner {
                     }
                 }
             }
-            Some(NtpMode::Control) => {
-                if ControlMessage::decode(&d.payload).is_ok() {
-                    self.verdict.config_open = true;
-                }
+            Some(NtpMode::Control) if ControlMessage::decode(&d.payload).is_ok() => {
+                self.verdict.config_open = true;
             }
             _ => {}
         }

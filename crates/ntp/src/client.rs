@@ -542,11 +542,17 @@ impl NtpClient {
         let Some(assoc) = self.assocs.iter_mut().find(|a| a.addr == d.src && !a.dead) else {
             return;
         };
-        let Some(t1) = assoc.pending_t1 else { return };
-        if resp.origin_ts != t1 {
-            self.stats.origin_check_failures += 1;
-            return; // blind spoof attempt
-        }
+        // ntpd's origin check ("bogus" test): a mode-4 packet whose origin
+        // timestamp does not echo an outstanding request is rejected —
+        // unsolicited packets included, which is how blind spoofs without
+        // an in-flight query are caught.
+        let t1 = match assoc.pending_t1 {
+            Some(t1) if resp.origin_ts == t1 => t1,
+            _ => {
+                self.stats.origin_check_failures += 1;
+                return; // blind spoof attempt or stale duplicate
+            }
+        };
         assoc.pending_t1 = None;
         if resp.is_kod() {
             self.stats.kods_received += 1;
@@ -776,15 +782,17 @@ mod tests {
     fn origin_check_rejects_blind_spoof() {
         struct Spoofer {
             victim: Ipv4Addr,
-            honest: Ipv4Addr,
+            honest_pool: Vec<Ipv4Addr>,
         }
         impl Host for Spoofer {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.set_timer(SimDuration::from_secs(70), 0);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
-                // Blind mode-4 spoof claiming to be the honest server with a
-                // huge offset; origin timestamp is a guess and fails.
+                // Blind mode-4 spoofs claiming to be each pool server (the
+                // attacker cannot know which 4-of-8 rotation the victim
+                // associated with, so it sprays them all) with a huge
+                // offset; the origin timestamp is a guess and fails.
                 let bogus = NtpPacket::server_response(
                     &NtpPacket::client_request(NtpTimestamp::from_secs_nanos(1, 0)),
                     2,
@@ -792,7 +800,9 @@ mod tests {
                     NtpTimestamp::from_secs_nanos(999, 0),
                     NtpTimestamp::from_secs_nanos(999, 0),
                 );
-                ctx.send_udp_spoofed(self.honest, self.victim, NTP_PORT, NTP_PORT, bogus.encode());
+                for &honest in &self.honest_pool {
+                    ctx.send_udp_spoofed(honest, self.victim, NTP_PORT, NTP_PORT, bogus.encode());
+                }
                 ctx.set_timer(SimDuration::from_secs(5), 0);
             }
         }
@@ -800,7 +810,7 @@ mod tests {
         sim.add_host(
             "203.0.113.66".parse().unwrap(),
             OsProfile::linux(),
-            Box::new(Spoofer { victim: CLIENT, honest: Ipv4Addr::new(192, 0, 2, 1) }),
+            Box::new(Spoofer { victim: CLIENT, honest_pool: pool_servers(8) }),
         )
         .unwrap();
         sim.run_for(SimDuration::from_mins(10));

@@ -78,6 +78,59 @@ proptest! {
         prop_assert!(sums_match(&original, &modified));
     }
 
+    /// §III-3 end to end: the fix-up `f2' = f2* − (sum1(f2*) − sum1(f2))`
+    /// always yields a forged second fragment that, reassembled with the
+    /// attacker-untouchable first fragment, forms a datagram whose UDP
+    /// checksum still verifies against the checksum field riding in
+    /// fragment 1.
+    #[test]
+    fn forged_fragment_reassembles_with_valid_udp_checksum(
+        payload in proptest::collection::vec(any::<u8>(), 1200..4000),
+        mtu in 68u16..600,
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..16),
+        slack_at in any::<usize>(),
+    ) {
+        let src: std::net::Ipv4Addr = "198.51.100.1".parse().unwrap();
+        let dst: std::net::Ipv4Addr = "10.0.0.53".parse().unwrap();
+        // A real UDP datagram with its checksum computed over the
+        // pseudo-header, as the nameserver would emit it.
+        let segment = UdpDatagram::new(53, 53, Bytes::from(payload)).encode(src, dst).unwrap();
+        let pkt = Ipv4Packet::udp(src, dst, 0x4242, segment);
+        let frags = netsim::frag::fragment(&pkt, mtu).unwrap();
+        prop_assert!(frags.len() >= 2, "must actually fragment at mtu {}", mtu);
+
+        // The attacker edits the second fragment and repairs its sum via a
+        // sacrificial aligned slack word.
+        let original_tail = frags[1].payload.to_vec();
+        let mut forged_tail = original_tail.clone();
+        let tail_len = forged_tail.len();
+        for &(pos, val) in &edits {
+            forged_tail[pos % tail_len] = val;
+        }
+        let slack = (slack_at % (forged_tail.len() / 2)) * 2;
+        fix_fragment_sum(&original_tail, &mut forged_tail, slack).unwrap();
+        let mut spoofed = frags[1].clone();
+        spoofed.payload = Bytes::from(forged_tail);
+
+        // Reassemble first fragment + forged tail (+ any further original
+        // fragments) exactly as the victim's defrag cache would.
+        let mut cache = DefragCache::new(DefragConfig {
+            max_pending_per_pair: 4096,
+            ..DefragConfig::default()
+        });
+        let mut out = None;
+        for f in std::iter::once(&frags[0])
+            .chain(std::iter::once(&spoofed))
+            .chain(frags.iter().skip(2))
+        {
+            out = cache.insert(SimTime::ZERO, f);
+        }
+        let out = out.expect("reassembly completes");
+        // The poisoned datagram passes the victim's checksum verification.
+        let decoded = UdpDatagram::decode(&out.payload, src, dst);
+        prop_assert!(decoded.is_ok(), "forged datagram must verify: {:?}", decoded.err());
+    }
+
     /// The analytic P2 matches Monte Carlo within statistical tolerance.
     #[test]
     fn p2_analytic_equals_monte_carlo(m in 1u32..10, seed in any::<u64>()) {

@@ -1,0 +1,117 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the bench targets use — `Criterion`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`
+//! and `black_box` — backed by a small wall-clock harness: each benchmark
+//! runs a warm-up iteration, then `sample_size` timed samples, and prints
+//! min/median/max per-iteration times. No statistics, plots or baselines;
+//! `cargo bench --no-run` compiles targets exactly as with real criterion.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark soft time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new() };
+        // Warm-up + measurement: the closure itself drives `iter`.
+        let deadline = Instant::now() + self.measurement_time;
+        let mut rounds = 0usize;
+        while rounds == 0 || (b.samples.len() < self.sample_size && Instant::now() < deadline) {
+            f(&mut b);
+            rounds += 1;
+        }
+        b.report(id);
+        self
+    }
+}
+
+/// Times individual iterations of a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once, timed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {id}: no samples (body never called iter)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let min = self.samples.first().copied().unwrap_or_default();
+        let max = self.samples.last().copied().unwrap_or_default();
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "bench {id:<45} min {min:>12?}  median {median:>12?}  max {max:>12?}  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group: either the criterion long form
+/// (`name = ...; config = ...; targets = ...`) or the short positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is used by this workspace, and since Rust 1.63
+//! the standard library provides scoped threads — so this is a thin
+//! adapter giving `std::thread::scope` the crossbeam calling convention
+//! (`scope(..) -> Result`, spawn closures receiving `&Scope`).
+
+#![warn(missing_docs)]
+
+/// Scoped threads with the crossbeam 0.8 API shape.
+pub mod thread {
+    /// Result type of [`scope`] and of joining a scoped thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; lets spawned closures spawn further siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// mirroring crossbeam (most callers ignore it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload as `Err`).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which all spawned threads are joined before
+    /// returning. `Err` carries the payload of a panicking main closure;
+    /// panics of spawned-but-unjoined threads propagate as in std.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            Ok(f(&wrapper))
+        })
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Generation-only property testing: the [`proptest!`] macro runs each
+//! property over `cases` pseudo-random inputs drawn from [`Strategy`]
+//! values (ranges, [`any`], [`collection::vec`], simple `[class]{m,n}`
+//! string patterns). There is **no shrinking** — a failing case reports its
+//! case number and generated inputs via the `prop_assert!` message instead.
+//! Deterministic by default (fixed base seed), `PROPTEST_CASES` overrides
+//! the case count.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Strategy: something that can generate values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Uniform full-domain strategy for a primitive, from [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns a strategy generating any value of `T`.
+pub fn any<T: rand::distr::StandardUniform>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: rand::distr::StandardUniform> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::RngExt;
+        rng.random()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Copy,
+    std::ops::Range<T>: rand::distr::SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::RngExt;
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Copy,
+    std::ops::RangeInclusive<T>: rand::distr::SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::RngExt;
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A/0, B/1);
+impl_strategy_tuple!(A/0, B/1, C/2);
+impl_strategy_tuple!(A/0, B/1, C/2, D/3);
+
+/// String strategies from pattern literals: supports `[a-zx]{m,n}`-style
+/// single-class-with-repetition patterns and plain literals.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// Generates a string for a `[class]{m,n}` pattern (or the literal
+    /// itself when it is not of that form).
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let Some((class, reps)) = parse(pat) else {
+            return pat.to_string();
+        };
+        let (lo, hi) = reps;
+        let n = rng.random_range(lo..=hi);
+        (0..n).map(|_| class[rng.random_range(0..class.len())]).collect()
+    }
+
+    fn parse(pat: &str) -> Option<(Vec<char>, (usize, usize))> {
+        let rest = pat.strip_prefix('[')?;
+        let (class_src, rest) = rest.split_once(']')?;
+        let mut class = Vec::new();
+        let mut chars = class_src.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                let mut look = chars.clone();
+                look.next();
+                if let Some(&end) = look.peek() {
+                    chars.next();
+                    chars.next();
+                    for v in c as u32..=end as u32 {
+                        class.push(char::from_u32(v)?);
+                    }
+                    continue;
+                }
+            }
+            class.push(c);
+        }
+        if class.is_empty() {
+            return None;
+        }
+        let reps = match rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+            None if rest.is_empty() => (1, 1),
+            None => return None,
+            Some(r) => match r.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = r.trim().parse().ok()?;
+                    (n, n)
+                }
+            },
+        };
+        Some((class, reps))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for `Vec<T>` with an element strategy and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A property failure raised by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Runs one property over `config.cases` generated cases. Used by the
+/// [`proptest!`] macro expansion; the closure returns `Err` on
+/// `prop_assert!` failure.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    // Fixed base seed: deterministic runs, distinct streams per property.
+    let base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for i in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(TestCaseError(msg)) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{}: {msg}", config.cases);
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a zero-argument test running the body over generated inputs.
+/// An optional leading `#![proptest_config(expr)]` sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, __rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])*
+            fn $name($($arg in $strategy),*) $body)*
+        }
+    };
+}
+
+/// Asserts inside a property; on failure the case returns an error with
+/// the formatted message (no panic/unwind machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}

@@ -1,0 +1,380 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of the rand 0.9-style API the workspace uses:
+//!
+//! * [`Rng`] — the core generator trait (`next_u32`/`next_u64`/`fill_bytes`);
+//! * [`RngExt`] — ergonomic extension methods (`random`, `random_range`,
+//!   `random_bool`), blanket-implemented for every [`Rng`];
+//! * [`SeedableRng`] with `seed_from_u64`;
+//! * [`rngs::SmallRng`] — a deterministic xoshiro256++ generator;
+//! * [`seq::IndexedRandom`] (`choose`, `sample`) and [`seq::index::sample`].
+//!
+//! Determinism is the property the simulator actually relies on: the same
+//! seed always produces the same stream.
+
+#![warn(missing_docs)]
+
+/// The core random-number-generator trait.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Ergonomic extension methods on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Returns a uniformly random value of `T`.
+    fn random<T: distr::StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns a uniformly random value within the range.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` via splitmix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl Rng for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // All-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Distributions: uniform sampling of primitives and ranges.
+pub mod distr {
+    use super::Rng;
+
+    /// Types that can be sampled uniformly over their whole domain
+    /// (floats: uniform in `[0, 1)`).
+    pub trait StandardUniform: Sized {
+        /// Draws one value from `rng`.
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl StandardUniform for $t {
+                fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        u64 => next_u64, usize => next_u64,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    );
+
+    impl StandardUniform for u128 {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl StandardUniform for i128 {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            <u128 as StandardUniform>::sample(rng) as i128
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl StandardUniform for f64 {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl<const N: usize> StandardUniform for [u8; N] {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+
+    /// Ranges that can be sampled uniformly.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range using `rng`.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let v = super::distr::wide_uniform(rng, span as u128);
+                    (self.start as u128).wrapping_add(v) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain inclusive range of a 128-bit type.
+                        return <$t as StandardUniform>::sample(rng);
+                    }
+                    let v = super::distr::wide_uniform(rng, span);
+                    (lo as u128).wrapping_add(v) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform draw in `[0, span)` via 128-bit widening (bias < 2^-64).
+    pub(super) fn wide_uniform<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        v % span
+    }
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            let unit = <f64 as StandardUniform>::sample(rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "empty range");
+            let unit = <f32 as StandardUniform>::sample(rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Random selection from slices.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Returns an iterator over `amount` distinct uniformly chosen
+        /// elements (in random order).
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> SliceSample<'_, Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> SliceSample<'_, T> {
+            let indices = index::sample(rng, self.len(), amount.min(self.len()));
+            SliceSample { slice: self, indices: indices.into_iter() }
+        }
+    }
+
+    /// Iterator returned by [`IndexedRandom::sample`].
+    pub struct SliceSample<'a, T> {
+        slice: &'a [T],
+        indices: std::vec::IntoIter<usize>,
+    }
+
+    impl<'a, T> Iterator for SliceSample<'a, T> {
+        type Item = &'a T;
+        fn next(&mut self) -> Option<&'a T> {
+            self.indices.next().map(|i| &self.slice[i])
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.indices.size_hint()
+        }
+    }
+
+    impl<T> ExactSizeIterator for SliceSample<'_, T> {}
+
+    /// Index sampling without replacement.
+    pub mod index {
+        use super::super::{Rng, RngExt};
+
+        /// Samples `amount` distinct indices from `0..length` by partial
+        /// Fisher–Yates; returns them in random order.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<usize> {
+            assert!(amount <= length, "cannot sample {amount} of {length}");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            pool
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u16 = rng.random_range(1024..=u16::MAX);
+            assert!(v >= 1024);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let i: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let xs: Vec<u32> = (0..50).collect();
+        let mut picked: Vec<u32> = xs.sample(&mut rng, 10).copied().collect();
+        picked.sort_unstable();
+        picked.dedup();
+        assert_eq!(picked.len(), 10);
+    }
+}

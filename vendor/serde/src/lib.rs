@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result/record types
+//! to keep them ready for real serialisation, but nothing in the tree
+//! serialises yet (there is no `serde_json` in the build environment). So
+//! these are marker traits, and the derive macros (re-exported from the
+//! vendored `serde_derive`) emit empty impls. Swapping in the real serde
+//! later is a manifest-only change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialised.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,150 @@
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde stand-in: the traits are markers, so the derives just
+//! emit empty impls. Token parsing is done by hand (no `syn`/`quote` in the
+//! offline build environment); supports plain and generic structs/enums.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Serialize", &[])
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Deserialize", &["'de"])
+}
+
+/// Emits `impl<extra, generics> ::serde::Trait<extra> for Name<generics> {}`.
+fn empty_impl(input: TokenStream, trait_name: &str, extra_params: &[&str]) -> TokenStream {
+    let (name, params) = parse_name_and_generics(input);
+
+    // Parameter list for the impl: extra lifetimes + the type's own params
+    // (bounds stripped); argument list for the type: param names only.
+    let mut impl_params: Vec<String> = extra_params.iter().map(|s| s.to_string()).collect();
+    impl_params.extend(params.iter().map(|p| p.declaration.clone()));
+    let type_args: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let trait_args = if extra_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", extra_params.join(", "))
+    };
+    let type_generics = if type_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", type_args.join(", "))
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::{trait_name}{trait_args} for {name}{type_generics} {{}}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+struct Param {
+    /// The parameter as declared, bounds stripped: `'a`, `T`, `const N: usize`.
+    declaration: String,
+    /// The bare name used when applying the type: `'a`, `T`, `N`.
+    name: String,
+}
+
+/// Walks the derive input to the type name and its generic parameters,
+/// skipping attributes and visibility.
+fn parse_name_and_generics(input: TokenStream) -> (String, Vec<Param>) {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+                // `pub`, etc. — keep walking.
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive input contains a struct/enum name");
+
+    // Generics, if the next token is `<`.
+    let mut params = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut current = Vec::<TokenTree>::new();
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push(tt);
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            params.push(parse_param(&current));
+                        }
+                        break;
+                    }
+                    current.push(tt);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !current.is_empty() {
+                        params.push(parse_param(&current));
+                    }
+                    current.clear();
+                }
+                _ => current.push(tt),
+            }
+        }
+    }
+    (name, params)
+}
+
+/// Splits one generic parameter into declaration (bounds stripped) and name.
+fn parse_param(tokens: &[TokenTree]) -> Param {
+    // Cut at the first top-level `:` to drop bounds; defaults (`= ...`) are
+    // also dropped since the cut happens before them or they follow bounds.
+    let mut decl_end = tokens.len();
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            if p.as_char() == ':' || p.as_char() == '=' {
+                decl_end = i;
+                break;
+            }
+        }
+    }
+    let is_const = matches!(&tokens[0], TokenTree::Ident(id) if id.to_string() == "const");
+    if is_const {
+        // `const N: usize` must keep its type in the declaration.
+        let decl: String = tokens.iter().map(|t| t.to_string() + " ").collect();
+        let name = match &tokens[1] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => other.to_string(),
+        };
+        return Param { declaration: decl.trim().to_string(), name };
+    }
+    let decl: String =
+        tokens[..decl_end].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+    // Name: for lifetimes the declaration IS the name (`'a`); for types the
+    // first ident.
+    let name = decl.clone();
+    Param { declaration: decl, name }
+}
