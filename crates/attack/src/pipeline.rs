@@ -325,7 +325,8 @@ impl PoisonPipeline {
                     let bytes = d.payload.to_vec();
                     if state.observed.as_deref() != Some(bytes.as_slice()) {
                         state.tail =
-                            forge_tail(&bytes, self.config.forced_mtu, self.config.attacker_ns).ok();
+                            forge_tail(&bytes, self.config.forced_mtu, self.config.attacker_ns)
+                                .ok();
                         if let Some(tail) = &state.tail {
                             if self.check_name.is_none() {
                                 self.check_name = tail.poisoned_names.first().cloned();

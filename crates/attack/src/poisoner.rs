@@ -99,7 +99,8 @@ mod tests {
         )
         .unwrap();
         // Attacker's malicious nameserver (what the poisoned glue points to).
-        let malicious: Vec<Ipv4Addr> = (1..=89u32).map(|i| Ipv4Addr::from(0x4242_0100 + i)).collect();
+        let malicious: Vec<Ipv4Addr> =
+            (1..=89u32).map(|i| Ipv4Addr::from(0x4242_0100 + i)).collect();
         sim.add_host(
             ATTACKER_NS,
             OsProfile::linux(),
@@ -107,16 +108,11 @@ mod tests {
         )
         .unwrap();
         let config = PoisonConfig::open_resolver(RESOLVER, ns_list, ATTACKER_NS);
-        sim.add_host(ATTACKER, OsProfile::linux(), Box::new(OffPathPoisoner::new(config)))
-            .unwrap();
+        sim.add_host(ATTACKER, OsProfile::linux(), Box::new(OffPathPoisoner::new(config))).unwrap();
 
         sim.run_for(SimDuration::from_mins(30));
         let attacker: &OffPathPoisoner = sim.host(ATTACKER).unwrap();
-        assert!(
-            attacker.glue_poisoned(),
-            "glue must be poisoned; stats: {:?}",
-            attacker.stats()
-        );
+        assert!(attacker.glue_poisoned(), "glue must be poisoned; stats: {:?}", attacker.stats());
         assert!(
             attacker.fully_poisoned(),
             "pool A must be poisoned after the TTL window; stats: {:?}",
@@ -154,7 +150,8 @@ mod tests {
             )),
         )
         .unwrap();
-        let malicious: Vec<Ipv4Addr> = (1..=89u32).map(|i| Ipv4Addr::from(0x4242_0100 + i)).collect();
+        let malicious: Vec<Ipv4Addr> =
+            (1..=89u32).map(|i| Ipv4Addr::from(0x4242_0100 + i)).collect();
         sim.add_host(
             ATTACKER_NS,
             OsProfile::linux(),
@@ -162,8 +159,7 @@ mod tests {
         )
         .unwrap();
         let config = PoisonConfig::open_resolver(RESOLVER, ns_list, ATTACKER_NS);
-        sim.add_host(ATTACKER, OsProfile::linux(), Box::new(OffPathPoisoner::new(config)))
-            .unwrap();
+        sim.add_host(ATTACKER, OsProfile::linux(), Box::new(OffPathPoisoner::new(config))).unwrap();
         sim.run_for(SimDuration::from_mins(30));
         let attacker: &OffPathPoisoner = sim.host(ATTACKER).unwrap();
         assert!(!attacker.glue_poisoned(), "fragment filtering must stop the attack");

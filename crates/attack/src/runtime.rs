@@ -123,7 +123,8 @@ impl Host for RuntimeAttacker {
         // its internal intervals).
         self.pipeline.tick(ctx);
         if let RuntimeScenario::RefidDiscovery { probe_interval } = self.scenario {
-            let due = self.last_probe.map(|t| now.saturating_since(t) >= probe_interval).unwrap_or(true);
+            let due =
+                self.last_probe.map(|t| now.saturating_since(t) >= probe_interval).unwrap_or(true);
             if due {
                 self.last_probe = Some(now);
                 self.probe_refid(ctx);

@@ -58,11 +58,8 @@ pub fn walk_records(dns_bytes: &[u8]) -> Result<Vec<RecordSpan>, DnsError> {
         pos += 4; // qtype + qclass
     }
     let mut spans = Vec::new();
-    let sections = [
-        (Section::Answer, ancount),
-        (Section::Authority, nscount),
-        (Section::Additional, arcount),
-    ];
+    let sections =
+        [(Section::Answer, ancount), (Section::Authority, nscount), (Section::Additional, arcount)];
     for (section, count) in sections {
         for _ in 0..count {
             let record_offset = pos;
@@ -71,9 +68,11 @@ pub fn walk_records(dns_bytes: &[u8]) -> Result<Vec<RecordSpan>, DnsError> {
             if pos + 10 > dns_bytes.len() {
                 return Err(DnsError::Truncated { context: "record fixed fields" });
             }
-            let rtype = RecordType::from_code(u16::from_be_bytes([dns_bytes[pos], dns_bytes[pos + 1]]));
+            let rtype =
+                RecordType::from_code(u16::from_be_bytes([dns_bytes[pos], dns_bytes[pos + 1]]));
             let ttl_offset = pos + 4;
-            let rdata_len = usize::from(u16::from_be_bytes([dns_bytes[pos + 8], dns_bytes[pos + 9]]));
+            let rdata_len =
+                usize::from(u16::from_be_bytes([dns_bytes[pos + 8], dns_bytes[pos + 9]]));
             let rdata_offset = pos + 10;
             if rdata_offset + rdata_len > dns_bytes.len() {
                 return Err(DnsError::Truncated { context: "rdata" });
@@ -144,10 +143,7 @@ fn read_name(data: &[u8], start: usize) -> Result<(Name, usize), DnsError> {
 /// Convenience: the glue A records (additional-section A records) of a
 /// response, in order.
 pub fn glue_spans(spans: &[RecordSpan]) -> Vec<&RecordSpan> {
-    spans
-        .iter()
-        .filter(|s| s.section == Section::Additional && s.rtype == RecordType::A)
-        .collect()
+    spans.iter().filter(|s| s.section == Section::Additional && s.rtype == RecordType::A).collect()
 }
 
 #[cfg(test)]
@@ -172,7 +168,10 @@ mod tests {
     fn walk_finds_all_records_in_order() {
         let (resp, wire) = sample_response();
         let spans = walk_records(&wire).unwrap();
-        assert_eq!(spans.len(), resp.answers.len() + resp.authorities.len() + resp.additionals.len());
+        assert_eq!(
+            spans.len(),
+            resp.answers.len() + resp.authorities.len() + resp.additionals.len()
+        );
         assert_eq!(spans.iter().filter(|s| s.section == Section::Answer).count(), 4);
         assert_eq!(glue_spans(&spans).len(), 23);
         // Offsets are strictly increasing.

@@ -57,10 +57,7 @@ fn bench(c: &mut Criterion) {
         let zone = pool_zone(servers, 23, "198.51.100.1".parse().unwrap());
         let mut srv = AuthServer::new(vec![zone]);
         let q = Message::query(7, "pool.ntp.org".parse().unwrap(), RecordType::A, false);
-        let wire = srv
-            .answer(&q, &mut rand::rngs::SmallRng::seed_from_u64(5))
-            .encode()
-            .unwrap();
+        let wire = srv.answer(&q, &mut rand::rngs::SmallRng::seed_from_u64(5)).encode().unwrap();
         b.iter(|| forge_tail(&wire, 548, "66.66.0.1".parse().unwrap()).unwrap())
     });
 }

@@ -1,0 +1,107 @@
+//! engine: raw event-loop throughput (events/sec) and defrag-cache expiry.
+//!
+//! This is the regression guard for the slab-indexed dispatch path: hosts
+//! and stacks are addressed by dense `HostId`, callbacks write into the
+//! simulator's reusable scratch buffer, and `DefragCache::expire` pops a
+//! time-ordered ring. The event budget bounds each iteration to an exact
+//! event count, so the measured time is time-per-N-events.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use timeshift::prelude::*;
+
+const EVENTS_PER_ITER: u64 = 100_000;
+const RING_HOSTS: u32 = 64;
+
+/// Forwards every datagram to the next host in the ring, forever. The
+/// event budget is what terminates the run.
+struct RingForwarder {
+    next: Ipv4Addr,
+}
+
+impl Host for RingForwarder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send_udp(self.next, 4000, 4000, bytes::Bytes::from_static(b"lap"));
+    }
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: &Datagram) {
+        ctx.send_udp(self.next, d.dst_port, d.src_port, d.payload.clone());
+    }
+}
+
+fn ring_sim(seed: u64) -> Simulator {
+    let mut sim = Simulator::with_topology(
+        seed,
+        Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(5))),
+    );
+    let addr = |i: u32| Ipv4Addr::from(0x0A00_0000 + 1 + i);
+    for i in 0..RING_HOSTS {
+        let next = addr((i + 1) % RING_HOSTS);
+        sim.add_host(addr(i), OsProfile::linux(), Box::new(RingForwarder { next }))
+            .expect("ring address free");
+    }
+    sim.set_event_budget(EVENTS_PER_ITER);
+    sim
+}
+
+/// One full iteration: dispatch exactly [`EVENTS_PER_ITER`] events.
+fn drive(seed: u64) -> u64 {
+    let mut sim = ring_sim(seed);
+    // The budget (not the deadline) terminates the run.
+    sim.run_for(SimDuration::from_secs(86_400));
+    sim.stats().events_dispatched
+}
+
+fn defrag_churn(rounds: u64) -> usize {
+    let mut cache =
+        DefragCache::new(DefragConfig { max_pending_per_pair: 64, ..DefragConfig::default() });
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 2);
+    let base = Ipv4Packet::udp(src, dst, 0, bytes::Bytes::from(vec![0xAB; 2000]));
+    let template = fragment(&base, 1028).expect("fragments")[1].clone();
+    let mut pending_peak = 0;
+    for round in 0..rounds {
+        // One planted fragment per second: every insert past the timeout
+        // horizon also expires the oldest entry through the ring.
+        let mut f = template.clone();
+        f.id = (round % 0x1_0000) as u16;
+        let now = SimTime::ZERO + SimDuration::from_secs(round);
+        cache.insert(now, &f);
+        pending_peak = pending_peak.max(cache.pending_reassemblies());
+    }
+    pending_peak
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline number once per run: end-to-end events/sec of the loop.
+    let start = Instant::now();
+    let dispatched = drive(1);
+    let rate = dispatched as f64 / start.elapsed().as_secs_f64();
+    bench::show(
+        "Engine",
+        &format!(
+            "slab dispatch: {dispatched} events in {:?} ≈ {:.2} M events/sec\n\
+             (ring of {RING_HOSTS} hosts, 5 ms links, budget-bounded)",
+            start.elapsed(),
+            rate / 1e6
+        ),
+    );
+
+    c.bench_function("engine/dispatch_100k_events", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            drive(seed)
+        })
+    });
+
+    c.bench_function("engine/defrag_spray_30k_with_expiry", |b| b.iter(|| defrag_churn(30_000)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -6,9 +6,7 @@ use timeshift::prelude::*;
 fn bench(c: &mut Criterion) {
     let survey = experiments::resolver_survey(Scale { resolvers: 1200, ..Scale::quick() });
     bench::show("Fig. 6", &experiments::format_fig6(&survey));
-    c.bench_function("fig6/ttl_histogram", |b| {
-        b.iter(|| survey.ttl_histogram(10, 150))
-    });
+    c.bench_function("fig6/ttl_histogram", |b| b.iter(|| survey.ttl_histogram(10, 150)));
 }
 
 criterion_group! {

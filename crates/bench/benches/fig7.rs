@@ -7,9 +7,7 @@ use timeshift::prelude::*;
 fn bench(c: &mut Criterion) {
     let survey = experiments::resolver_survey(Scale { resolvers: 1200, ..Scale::quick() });
     bench::show("Fig. 7", &experiments::format_fig7(&survey));
-    c.bench_function("fig7/timing_histogram", |b| {
-        b.iter(|| survey.timing_histogram(25.0, 200.0))
-    });
+    c.bench_function("fig7/timing_histogram", |b| b.iter(|| survey.timing_histogram(25.0, 200.0)));
 }
 
 criterion_group! {

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use timeshift::prelude::*;
 
 fn bench(c: &mut Criterion) {
-    let rows = experiments::table1(2020);
+    let rows = experiments::table1(2020, Scale::quick().workers);
     bench::show("Table I", &experiments::format_table1(&rows));
     c.bench_function("table1/boot_attack_ntpd", |b| {
         let mut seed = 0;

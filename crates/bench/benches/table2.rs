@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use timeshift::prelude::*;
 
 fn bench(c: &mut Criterion) {
-    let rows = experiments::table2(2020);
+    let rows = experiments::table2(2020, Scale::quick().workers);
     bench::show("Table II", &experiments::format_table2(&rows));
     c.bench_function("table2/runtime_attack_ntpd_p1", |b| {
         let mut seed = 0;
@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
                 ScenarioConfig { seed, ..ScenarioConfig::default() },
                 ClientKind::Ntpd,
                 RuntimeScenario::KnownUpstreams {
-                    servers: (1..=8u32).map(|i| std::net::Ipv4Addr::from(0xC000_0200 + i)).collect(),
+                    servers: (1..=8u32)
+                        .map(|i| std::net::Ipv4Addr::from(0xC000_0200 + i))
+                        .collect(),
                 },
             )
         })

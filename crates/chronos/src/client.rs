@@ -151,9 +151,7 @@ impl ChronosClient {
         let chosen: Vec<Ipv4Addr> = if panic {
             pool
         } else {
-            pool.sample(ctx.rng(), self.config.sample_size.min(pool.len()))
-                .copied()
-                .collect()
+            pool.sample(ctx.rng(), self.config.sample_size.min(pool.len())).copied().collect()
         };
         let mut pending = HashMap::new();
         let now = ctx.now();

@@ -11,6 +11,7 @@ use ntp::prelude::{ClientKind, ClientProfile};
 use serde::Serialize;
 
 use crate::analysis::{self, Table3Row, P_RATE};
+use crate::runner::TrialRunner;
 use crate::scenario::{run_boot_time_attack, run_runtime_attack, AttackOutcome, ScenarioConfig};
 
 /// Sizing knobs for the measurement experiments: `quick` for tests and CI,
@@ -27,8 +28,8 @@ pub struct Scale {
     pub shared: usize,
     /// Pool servers for §VII-A (paper: 2 432).
     pub pool_servers: usize,
-    /// Worker threads for the parallel scans.
-    pub threads: usize,
+    /// Worker threads for the parallel trial runner and the scans.
+    pub workers: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -42,7 +43,7 @@ impl Scale {
             ad_fraction: 0.03,
             shared: 500,
             pool_servers: 400,
-            threads: 8,
+            workers: 8,
             seed: 2020,
         }
     }
@@ -55,7 +56,7 @@ impl Scale {
             ad_fraction: 1.0,
             shared: SHARED_STUDY_SIZE,
             pool_servers: POOL_SCAN_SIZE,
-            threads: 8,
+            workers: 8,
             seed: 2020,
         }
     }
@@ -79,25 +80,25 @@ pub struct Table1Row {
 }
 
 /// Table I: attack scenarios for popular NTP clients. Boot-time entries are
-/// verified by running the full attack in-simulator per client.
-pub fn table1(seed: u64) -> Vec<Table1Row> {
-    ClientKind::all()
-        .into_iter()
-        .map(|kind| {
-            let profile = ClientProfile::for_kind(kind);
-            let outcome = run_boot_time_attack(
-                ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
-                kind,
-            );
-            Table1Row {
-                client: kind.name(),
-                pool_share: kind.pool_share(),
-                boot_time: outcome.success,
-                run_time: profile.vulnerable_run_time(),
-                observed_boot_shift: outcome.observed_shift,
-            }
-        })
-        .collect()
+/// verified by running the full attack in-simulator per client; the trials
+/// are independent, so they fan across `workers` threads and merge in
+/// client order — results are bit-identical for any worker count.
+pub fn table1(seed: u64, workers: usize) -> Vec<Table1Row> {
+    let kinds = ClientKind::all();
+    TrialRunner::new(workers).run(&kinds, |_, &kind| {
+        let profile = ClientProfile::for_kind(kind);
+        let outcome = run_boot_time_attack(
+            ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
+            kind,
+        );
+        Table1Row {
+            client: kind.name(),
+            pool_share: kind.pool_share(),
+            boot_time: outcome.success,
+            run_time: profile.vulnerable_run_time(),
+            observed_boot_shift: outcome.observed_shift,
+        }
+    })
 }
 
 /// Formats Table I.
@@ -107,10 +108,8 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
          client      pool-share  boot-time  run-time  (observed boot shift)\n",
     );
     for r in rows {
-        let share = r
-            .pool_share
-            .map(|s| format!("{:5.1}%", s * 100.0))
-            .unwrap_or_else(|| "  n/l ".into());
+        let share =
+            r.pool_share.map(|s| format!("{:5.1}%", s * 100.0)).unwrap_or_else(|| "  n/l ".into());
         let run = match r.run_time {
             Some(true) => "yes",
             Some(false) => "no ",
@@ -145,8 +144,9 @@ pub struct Table2Row {
 
 /// Table II: run-time attack durations. Each row is a full end-to-end
 /// simulation: convergence, rate-limit abuse, DNS poisoning, redirection,
-/// clock step.
-pub fn table2(seed: u64) -> Vec<Table2Row> {
+/// clock step. Rows are independent trials fanned across `workers` threads
+/// and merged in case order (bit-identical for any worker count).
+pub fn table2(seed: u64, workers: usize) -> Vec<Table2Row> {
     let cases: [(&'static str, ClientKind, RuntimeScenario, &'static str, f64); 4] = [
         (
             "NTPd",
@@ -159,23 +159,20 @@ pub fn table2(seed: u64) -> Vec<Table2Row> {
         ("openntpd", ClientKind::OpenNtpd, p1_scenario(), "P1", 84.0),
         ("chrony", ClientKind::Chrony, p1_scenario(), "P1", 57.0),
     ];
-    cases
-        .into_iter()
-        .map(|(client, kind, scenario, label, paper_mins)| {
-            let outcome = run_runtime_attack(
-                ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
-                kind,
-                scenario,
-            );
-            Table2Row {
-                client,
-                scenario: label,
-                duration_mins: outcome.duration_secs.map(|s| s / 60.0),
-                paper_mins,
-                outcome,
-            }
-        })
-        .collect()
+    TrialRunner::new(workers).run(&cases, |_, &(client, kind, ref scenario, label, paper_mins)| {
+        let outcome = run_runtime_attack(
+            ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
+            kind,
+            scenario.clone(),
+        );
+        Table2Row {
+            client,
+            scenario: label,
+            duration_mins: outcome.duration_secs.map(|s| s / 60.0),
+            paper_mins,
+            outcome,
+        }
+    })
 }
 
 fn p1_scenario() -> RuntimeScenario {
@@ -190,10 +187,8 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
          client      scenario  measured   paper   shift\n",
     );
     for r in rows {
-        let measured = r
-            .duration_mins
-            .map(|m| format!("{m:5.1} min"))
-            .unwrap_or_else(|| "  failed ".into());
+        let measured =
+            r.duration_mins.map(|m| format!("{m:5.1} min")).unwrap_or_else(|| "  failed ".into());
         out.push_str(&format!(
             "{:<11} {:<9} {measured}  {:>3.0} min  {:+.1}s\n",
             r.client, r.scenario, r.paper_mins, r.outcome.observed_shift
@@ -230,10 +225,16 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
 // --------------------------------------------- Table IV + Fig. 6 + Fig. 7
 
 /// Runs the open-resolver survey once; Table IV, Fig. 6 and Fig. 7 all
-/// read from it.
+/// read from it. Each resolver is probed in its own mini-simulation with a
+/// seed derived from its population index, fanned across the trial runner:
+/// the sweep is bit-identical for any worker count.
 pub fn resolver_survey(scale: Scale) -> SurveyResult {
     let population = open_resolvers(scale.resolvers, scale.seed);
-    measure::snoop::run_survey(&population, scale.seed ^ 0xA, scale.threads)
+    let seed = scale.seed ^ 0xA;
+    let outcomes = TrialRunner::new(scale.workers).run(&population, |idx, spec| {
+        measure::snoop::scan_resolver(spec, measure::scan_seed(seed, idx))
+    });
+    measure::snoop::aggregate_outcomes(population.len(), &outcomes)
 }
 
 /// Formats Table IV from a survey.
@@ -268,7 +269,8 @@ pub fn format_table4(survey: &SurveyResult) -> String {
 
 /// Formats Fig. 6 (TTL histogram of cached pool A records).
 pub fn format_fig6(survey: &SurveyResult) -> String {
-    let mut out = String::from("FIG. 6 — TTL VALUES OF CACHED NTP POOL RECORDS\nttl-bucket  count\n");
+    let mut out =
+        String::from("FIG. 6 — TTL VALUES OF CACHED NTP POOL RECORDS\nttl-bucket  count\n");
     for (bucket, count) in survey.ttl_histogram(10, 150) {
         out.push_str(&format!("{bucket:>3}-{:>3}s    {count}\n", bucket + 9));
     }
@@ -291,7 +293,7 @@ pub fn format_fig7(survey: &SurveyResult) -> String {
 /// Runs the ad study.
 pub fn table5(scale: Scale) -> AdStudyResult {
     let population = ad_clients_scaled(scale.seed ^ 0x5, scale.ad_fraction);
-    measure::adstudy::run_study(&population, scale.seed ^ 0x55, scale.threads)
+    measure::adstudy::run_study(&population, scale.seed ^ 0x55, scale.workers)
 }
 
 /// Formats Table V.
@@ -321,13 +323,13 @@ pub fn format_table5(result: &AdStudyResult) -> String {
 /// Runs the 1M-domain PMTUD scan (scaled).
 pub fn fig5(scale: Scale) -> PmtudScanResult {
     let population = domain_nameservers(scale.domains, scale.seed ^ 0xF5);
-    measure::pmtud::run_scan(&population, scale.seed ^ 0xF55, scale.threads)
+    measure::pmtud::run_scan(&population, scale.seed ^ 0xF55, scale.workers)
 }
 
 /// Runs the §VII-B pool-nameserver scan (30 NS).
 pub fn pool_ns_scan(scale: Scale) -> PmtudScanResult {
     let population = pool_nameservers(scale.seed ^ 0xB);
-    measure::pmtud::run_scan(&population, scale.seed ^ 0xBB, scale.threads)
+    measure::pmtud::run_scan(&population, scale.seed ^ 0xBB, scale.workers)
 }
 
 /// Formats Fig. 5.
@@ -341,7 +343,10 @@ pub fn format_fig5(result: &PmtudScanResult) -> String {
         result.vulnerable_fraction() * 100.0
     );
     for &(threshold, _) in &result.cdf {
-        out.push_str(&format!("{threshold:>6} B            {:5.1}%\n", result.cdf_at(threshold) * 100.0));
+        out.push_str(&format!(
+            "{threshold:>6} B            {:5.1}%\n",
+            result.cdf_at(threshold) * 100.0
+        ));
     }
     out
 }
@@ -402,7 +407,7 @@ pub fn format_chronos_bound(rows: &[ChronosBoundRow]) -> String {
 /// Runs the rate-limiting scan.
 pub fn ratelimit_scan(scale: Scale) -> RateLimitScanResult {
     let population = pool_servers(scale.pool_servers, scale.seed ^ 0x7A);
-    measure::ratelimit::run_scan(&population, scale.seed ^ 0x7AA, scale.threads)
+    measure::ratelimit::run_scan(&population, scale.seed ^ 0x7AA, scale.workers)
 }
 
 /// Formats the §VII-A scan.

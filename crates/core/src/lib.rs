@@ -11,7 +11,10 @@
 //! * [`analysis`] — the closed-form models: Table III probabilities, the
 //!   Chronos 2/3 pool bound (N ≤ 11), the 5-fragment boot budget;
 //! * [`experiments`] — one function per table and figure, with paper-style
-//!   formatting (used by the `bench` crate and the examples).
+//!   formatting (used by the `bench` crate and the examples);
+//! * [`runner`] — the parallel Monte-Carlo trial driver: independent
+//!   per-seed simulations fanned across worker threads and merged in seed
+//!   order (bit-identical results for any worker count).
 //!
 //! ## Quickstart
 //!
@@ -31,6 +34,7 @@
 
 pub mod analysis;
 pub mod experiments;
+pub mod runner;
 pub mod scenario;
 
 pub use attack;
@@ -47,6 +51,7 @@ pub mod prelude {
         p1, p2, table3, Table3Row, P_KOD, P_RATE,
     };
     pub use crate::experiments::{self, Scale};
+    pub use crate::runner::{trial_seed, TrialRunner};
     pub use crate::scenario::{
         run_boot_time_attack, run_chronos_attack, run_runtime_attack, Addrs, AttackOutcome,
         ChronosOutcome, Scenario, ScenarioConfig,

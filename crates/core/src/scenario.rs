@@ -92,8 +92,7 @@ impl Scenario {
     /// (rate limiting per config), the attacker's nameserver and NTP
     /// servers. The attacker host itself is launched by the attack runners.
     pub fn build(config: ScenarioConfig) -> Scenario {
-        let mut sim =
-            Simulator::with_topology(config.seed, Topology::uniform(config.link));
+        let mut sim = Simulator::with_topology(config.seed, Topology::uniform(config.link));
         let pool_servers: Vec<Ipv4Addr> =
             (1..=config.pool_size as u32).map(|i| Ipv4Addr::from(0xC000_0200 + i)).collect();
         for &addr in &pool_servers {
@@ -156,7 +155,8 @@ impl Scenario {
         } else {
             PoisonConfig::closed_resolver
         };
-        let mut config = make(self.addrs.resolver, self.addrs.ns_list.clone(), self.addrs.attacker_ns);
+        let mut config =
+            make(self.addrs.resolver, self.addrs.ns_list.clone(), self.addrs.attacker_ns);
         config.malicious_net = (Ipv4Addr::new(66, 66, 0, 0), 16);
         config
     }
@@ -165,7 +165,11 @@ impl Scenario {
     pub fn launch_poisoner(&mut self) {
         let config = self.poison_config();
         self.sim
-            .add_host(self.addrs.attacker, OsProfile::linux(), Box::new(OffPathPoisoner::new(config)))
+            .add_host(
+                self.addrs.attacker,
+                OsProfile::linux(),
+                Box::new(OffPathPoisoner::new(config)),
+            )
             .expect("attacker address free");
     }
 
@@ -269,11 +273,10 @@ pub fn run_boot_time_attack(config: ScenarioConfig, kind: ClientKind) -> AttackO
     let target_shift = config.shift_secs;
     let mut scenario = Scenario::build(config);
     scenario.launch_poisoner();
-    let poisoned_at = scenario.run_until_condition(
-        SimDuration::from_secs(30),
-        SimDuration::from_mins(30),
-        |s| s.poisoner().map(OffPathPoisoner::fully_poisoned).unwrap_or(false),
-    );
+    let poisoned_at =
+        scenario.run_until_condition(SimDuration::from_secs(30), SimDuration::from_mins(30), |s| {
+            s.poisoner().map(OffPathPoisoner::fully_poisoned).unwrap_or(false)
+        });
     let boot_at = scenario.sim.now();
     scenario.spawn_victim(kind);
     scenario.sim.run_for(SimDuration::from_mins(10));
@@ -304,16 +307,13 @@ pub fn run_runtime_attack(
     scenario.sim.run_for(SimDuration::from_mins(20));
     let attack_start = scenario.sim.now();
     scenario.launch_runtime_attacker(victim, scenario_kind);
-    let stepped_at = scenario.run_until_condition(
-        SimDuration::from_mins(1),
-        SimDuration::from_hours(3),
-        |s| {
+    let stepped_at =
+        scenario.run_until_condition(SimDuration::from_mins(1), SimDuration::from_hours(3), |s| {
             s.victim()
                 .and_then(NtpClient::first_large_step)
                 .map(|(t, _)| t > attack_start)
                 .unwrap_or(false)
-        },
-    );
+        });
     let victim_host = scenario.victim().expect("victim exists");
     let observed = victim_host.offset_secs(scenario.sim.now());
     let duration = victim_host
@@ -386,11 +386,7 @@ mod tests {
         // attack. (Single seed per kind; the full sweep lives in the bench.)
         for kind in [ClientKind::Ntpd, ClientKind::SystemdTimesyncd, ClientKind::Ntpdate] {
             let outcome = run_boot_time_attack(ScenarioConfig::default(), kind);
-            assert!(
-                outcome.success,
-                "{}: boot-time attack failed: {outcome:?}",
-                kind.name()
-            );
+            assert!(outcome.success, "{}: boot-time attack failed: {outcome:?}", kind.name());
             assert!((outcome.observed_shift + 500.0).abs() < 1.0);
         }
     }

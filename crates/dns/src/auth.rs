@@ -94,10 +94,7 @@ impl AuthServer {
                     if !addrs.is_empty() =>
                 {
                     let n = (*per_response).min(addrs.len());
-                    addrs[..n]
-                        .iter()
-                        .map(|&addr| Record::a(q.name.clone(), *ttl, addr))
-                        .collect()
+                    addrs[..n].iter().map(|&addr| Record::a(q.name.clone(), *ttl, addr)).collect()
                 }
                 _ => zone.lookup(&q.name, q.qtype).to_vec(),
             }
@@ -110,8 +107,14 @@ impl AuthServer {
         resp.answers = answers;
         if let Some(key) = zone.key {
             if !resp.answers.is_empty() {
-                let sig =
-                    make_rrsig(key, &zone.origin, &q.name, q.qtype, resp.answers[0].ttl, &resp.answers);
+                let sig = make_rrsig(
+                    key,
+                    &zone.origin,
+                    &q.name,
+                    q.qtype,
+                    resp.answers[0].ttl,
+                    &resp.answers,
+                );
                 resp.answers.push(sig);
             }
         }
@@ -197,8 +200,7 @@ mod tests {
         let mut srv = AuthServer::new(vec![zone]);
         let mut rng = rng();
         let r1 = srv.answer(&query("pool.ntp.org"), &mut rng);
-        let mut seen: std::collections::HashSet<Ipv4Addr> =
-            r1.answer_addrs().into_iter().collect();
+        let mut seen: std::collections::HashSet<Ipv4Addr> = r1.answer_addrs().into_iter().collect();
         assert_eq!(seen.len(), 4);
         for _ in 0..10 {
             seen.extend(srv.answer(&query("pool.ntp.org"), &mut rng).answer_addrs());
@@ -230,7 +232,8 @@ mod tests {
 
     #[test]
     fn wildcard_zone_answers_any_name_with_many_addrs() {
-        let addrs: Vec<Ipv4Addr> = (0..89).map(|i| Ipv4Addr::new(6, 6, (i / 250) as u8, (i % 250) as u8)).collect();
+        let addrs: Vec<Ipv4Addr> =
+            (0..89).map(|i| Ipv4Addr::new(6, 6, (i / 250) as u8, (i % 250) as u8)).collect();
         let mut srv = AuthServer::new(vec![malicious_pool_zone(addrs, 89, 86_400 * 2)]);
         let r = srv.answer(&query("pool.ntp.org"), &mut rng());
         assert_eq!(r.answer_addrs().len(), 89);

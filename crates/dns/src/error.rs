@@ -38,7 +38,9 @@ impl fmt::Display for DnsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DnsError::BadName { reason } => write!(f, "bad name: {reason}"),
-            DnsError::Truncated { context } => write!(f, "truncated message while decoding {context}"),
+            DnsError::Truncated { context } => {
+                write!(f, "truncated message while decoding {context}")
+            }
             DnsError::BadPointer => write!(f, "bad or looping compression pointer"),
             DnsError::BadField { field } => write!(f, "invalid field: {field}"),
             DnsError::Oversize { len } => write!(f, "message too large: {len} bytes"),

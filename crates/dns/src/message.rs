@@ -444,10 +444,9 @@ impl<'a> Decoder<'a> {
                 self.pos = rdata_start + rdlen;
                 RData::Dnskey { key_tag }
             }
-            RecordType::Unknown(code) => RData::Unknown {
-                rtype: code,
-                data: Bytes::copy_from_slice(self.take(rdlen)?),
-            },
+            RecordType::Unknown(code) => {
+                RData::Unknown { rtype: code, data: Bytes::copy_from_slice(self.take(rdlen)?) }
+            }
         };
         Ok(Record { name, ttl, data })
     }

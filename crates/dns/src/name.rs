@@ -79,11 +79,7 @@ impl Name {
         if other.labels.len() > self.labels.len() {
             return false;
         }
-        self.labels
-            .iter()
-            .rev()
-            .zip(other.labels.iter().rev())
-            .all(|(a, b)| a == b)
+        self.labels.iter().rev().zip(other.labels.iter().rev()).all(|(a, b)| a == b)
     }
 
     /// The parent name (one label stripped); `None` for the root.

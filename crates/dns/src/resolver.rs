@@ -178,7 +178,12 @@ impl Resolver {
 
     /// Picks the nameserver to ask for `qname`: cached delegations first
     /// (longest match), then configured hints.
-    fn find_nameserver(&self, now: SimTime, ctx: &mut Ctx<'_>, qname: &Name) -> Option<(Name, Ipv4Addr)> {
+    fn find_nameserver(
+        &self,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        qname: &Name,
+    ) -> Option<(Name, Ipv4Addr)> {
         for zone in qname.self_and_ancestors() {
             if self.config.follow_cached_delegations {
                 if let Some(hit) = self.cache.lookup(now, &zone, RecordType::Ns) {
@@ -264,12 +269,11 @@ impl Resolver {
             }
             return;
         }
-        let client = ClientRef { addr: d.src, port: d.src_port, txid: query.header.id, rd: query.header.rd };
+        let client =
+            ClientRef { addr: d.src, port: d.src_port, txid: query.header.id, rd: query.header.rd };
         // Join an in-flight identical resolution, if any.
-        if let Some((_, p)) = self
-            .pending
-            .iter_mut()
-            .find(|(_, p)| p.qname == q.name && p.qtype == q.qtype)
+        if let Some((_, p)) =
+            self.pending.iter_mut().find(|(_, p)| p.qname == q.name && p.qtype == q.qtype)
         {
             p.clients.push(client);
             return;
@@ -309,9 +313,11 @@ impl Resolver {
     fn handle_upstream_response(&mut self, ctx: &mut Ctx<'_>, d: &Datagram, resp: Message) {
         // Match pending by (source address, destination port, TXID) — the
         // challenge-response triple of RFC 5452.
-        let Some((&id, _)) = self.pending.iter().find(|(_, p)| {
-            p.server == d.src && p.sport == d.dst_port && p.txid == resp.header.id
-        }) else {
+        let Some((&id, _)) = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.server == d.src && p.sport == d.dst_port && p.txid == resp.header.id)
+        else {
             return; // unsolicited (a blind-spoofing miss)
         };
         let now = ctx.now();
@@ -410,7 +416,8 @@ impl Resolver {
                 return;
             }
         }
-        let rcode = if resp.header.rcode == Rcode::NxDomain { Rcode::NxDomain } else { Rcode::NoError };
+        let rcode =
+            if resp.header.rcode == Rcode::NxDomain { Rcode::NxDomain } else { Rcode::NoError };
         self.reply_to_clients(ctx, id, matching, rcode);
     }
 }
@@ -501,9 +508,7 @@ mod tests {
         assert!(r.cache().contains(sim.now(), &pool_name(), RecordType::A));
         // NS + glue must be cached too (that is what gets poisoned later).
         assert!(r.cache().contains(sim.now(), &pool_name(), RecordType::Ns));
-        assert!(r
-            .cache()
-            .contains(sim.now(), &"ns1.pool.ntp.org".parse().unwrap(), RecordType::A));
+        assert!(r.cache().contains(sim.now(), &"ns1.pool.ntp.org".parse().unwrap(), RecordType::A));
     }
 
     #[test]
@@ -563,7 +568,12 @@ mod tests {
     fn concurrent_identical_queries_are_aggregated() {
         let mut sim = build_sim(ResolverConfig::default());
         let a = crate::stub::OneShot::spawn(&mut sim, CLIENT, RESOLVER, pool_name());
-        let b = crate::stub::OneShot::spawn(&mut sim, "10.0.0.101".parse().unwrap(), RESOLVER, pool_name());
+        let b = crate::stub::OneShot::spawn(
+            &mut sim,
+            "10.0.0.101".parse().unwrap(),
+            RESOLVER,
+            pool_name(),
+        );
         sim.run_for(SimDuration::from_secs(5));
         let ra = crate::stub::OneShot::result(&sim, a);
         let rb = crate::stub::OneShot::result(&sim, b);

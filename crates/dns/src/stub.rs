@@ -95,7 +95,14 @@ impl StubResolver {
             .filter(|r| r.rtype() == RecordType::A)
             .filter_map(|r| r.as_a().map(|a| (a, r.ttl)))
             .unzip();
-        Some(DnsReply { txid: msg.header.id, qname, rcode: msg.header.rcode, addrs, ttls, message: msg })
+        Some(DnsReply {
+            txid: msg.header.id,
+            qname,
+            rcode: msg.header.rcode,
+            addrs,
+            ttls,
+            message: msg,
+        })
     }
 
     /// Number of queries still awaiting a reply.
@@ -188,7 +195,7 @@ fn spawn_at_free(
     let mut addr = preferred;
     loop {
         match sim.add_host(addr, OsProfile::linux(), make()) {
-            Ok(()) => return addr,
+            Ok(_) => return addr,
             Err(_) => addr = Ipv4Addr::from(u32::from(addr).wrapping_add(1)),
         }
     }
@@ -230,9 +237,7 @@ pub fn snoop_once(
 /// Payload helper: encodes an A query ready to be sent raw (used by
 /// attacker hosts that spoof their source address).
 pub fn raw_a_query(txid: u16, name: &Name, rd: bool) -> Bytes {
-    Message::query(txid, name.clone(), RecordType::A, rd)
-        .encode()
-        .expect("query encodes")
+    Message::query(txid, name.clone(), RecordType::A, rd).encode().expect("query encodes")
 }
 
 /// Extracts (addr, ttl) pairs from any records in `records`.
@@ -250,7 +255,8 @@ mod tests {
         let mut stub = StubResolver::new(resolver, 7777);
         // Forge a reply with an unknown txid: must not match.
         let msg = {
-            let mut m = Message::query(0xAAAA, "pool.ntp.org".parse().unwrap(), RecordType::A, true);
+            let mut m =
+                Message::query(0xAAAA, "pool.ntp.org".parse().unwrap(), RecordType::A, true);
             m.header.qr = true;
             m
         };

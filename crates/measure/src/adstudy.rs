@@ -91,12 +91,8 @@ impl AdStudyResult {
     /// The DNSSEC validation range over the regional rows (paper: 19.14 %
     /// to 28.94 %).
     pub fn validation_range(&self) -> (f64, f64) {
-        let regional: Vec<f64> = self
-            .rows
-            .iter()
-            .take(5)
-            .map(|r| Table5Row::pct(r.validating, r.total))
-            .collect();
+        let regional: Vec<f64> =
+            self.rows.iter().take(5).map(|r| Table5Row::pct(r.validating, r.total)).collect();
         let min = regional.iter().copied().fold(f64::INFINITY, f64::min);
         let max = regional.iter().copied().fold(0.0, f64::max);
         (min, max)
@@ -183,7 +179,8 @@ pub fn run_client(spec: &AdClientSpec, seed: u64) -> ClientResult {
     }
     let mut anchors = TrustAnchors::new();
     anchors.add(zone.clone(), ZONE_KEY);
-    let config = ResolverConfig { validating: spec.validates, anchors, ..ResolverConfig::default() };
+    let config =
+        ResolverConfig { validating: spec.validates, anchors, ..ResolverConfig::default() };
     sim.add_host(RESOLVER, profile, Box::new(Resolver::new(config, vec![(zone, vec![NS])])))
         .expect("resolver");
     sim.add_host(
@@ -203,18 +200,21 @@ pub fn run_client(spec: &AdClientSpec, seed: u64) -> ClientResult {
 }
 
 /// Runs the whole study over a population, in parallel, and aggregates
-/// Table V.
-pub fn run_study(population: &[AdClientSpec], seed: u64, threads: usize) -> AdStudyResult {
-    let threads = threads.max(1);
-    let chunk = population.len().div_ceil(threads);
+/// Table V. Per-item seeds come from [`crate::scan_seed`] on the
+/// population index, so results are identical for any worker count.
+pub fn run_study(population: &[AdClientSpec], seed: u64, workers: usize) -> AdStudyResult {
+    let workers = workers.max(1);
+    let chunk = population.len().div_ceil(workers).max(1);
     let results: Vec<(AdClientSpec, ClientResult)> = thread::scope(|s| {
         let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk.max(1)).enumerate() {
+        for (i, block) in population.chunks(chunk).enumerate() {
             handles.push(s.spawn(move |_| {
                 block
                     .iter()
                     .enumerate()
-                    .map(|(j, spec)| (*spec, run_client(spec, seed ^ ((i * 677 + j) as u64))))
+                    .map(|(j, spec)| {
+                        (*spec, run_client(spec, crate::scan_seed(seed, i * chunk + j)))
+                    })
                     .collect::<Vec<_>>()
             }));
         }

@@ -82,8 +82,7 @@ impl FragmentingNs {
                 let a_set = vec![Record::a(q.name.clone(), 60, addr)];
                 // Pad so the response exceeds the largest fragment size:
                 // every kind then yields at least two fragments.
-                let txt_set =
-                    vec![Record::new(q.name.clone(), 60, RData::Txt("p".repeat(1400)))];
+                let txt_set = vec![Record::new(q.name.clone(), 60, RData::Txt("p".repeat(1400)))];
                 let a_sig = make_rrsig(key, &self.zone, &q.name, RecordType::A, 60, &a_set);
                 let txt_sig = make_rrsig(key, &self.zone, &q.name, RecordType::Txt, 60, &txt_set);
                 resp.answers.extend(a_set);
@@ -119,11 +118,7 @@ impl Host for FragmentingNs {
         };
         self.ipid = self.ipid.wrapping_add(1);
         let pkt = Ipv4Packet::udp(ctx.addr(), d.src, self.ipid, udp);
-        let mtu = SIZES
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map(|(_, mtu)| *mtu)
-            .unwrap_or(1500);
+        let mtu = SIZES.iter().find(|(k, _)| *k == kind).map(|(_, mtu)| *mtu).unwrap_or(1500);
         match fragment(&pkt, mtu) {
             Ok(frags) => {
                 for f in frags {
@@ -158,17 +153,9 @@ mod tests {
         profile.min_fragment_size = min_fragment;
         let mut anchors = TrustAnchors::new();
         anchors.add(zone.clone(), key);
-        let config = ResolverConfig {
-            validating,
-            anchors,
-            ..ResolverConfig::default()
-        };
-        sim.add_host(
-            RESOLVER,
-            profile,
-            Box::new(Resolver::new(config, vec![(zone, vec![NS])])),
-        )
-        .unwrap();
+        let config = ResolverConfig { validating, anchors, ..ResolverConfig::default() };
+        sim.add_host(RESOLVER, profile, Box::new(Resolver::new(config, vec![(zone, vec![NS])])))
+            .unwrap();
         sim
     }
 

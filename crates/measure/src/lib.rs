@@ -23,6 +23,13 @@
 
 #![warn(missing_docs)]
 
+/// The seed for the population item at index `idx`: a pure function of the
+/// master seed and the index (splitmix-style mixing), so every scanner in
+/// this crate produces identical results for any worker count or chunking.
+pub fn scan_seed(seed: u64, idx: usize) -> u64 {
+    seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 pub mod adstudy;
 pub mod fragns;
 pub mod pmtud;
@@ -46,6 +53,7 @@ pub mod prelude {
     pub use crate::ratelimit::{
         run_scan as run_ratelimit_scan, scan_server, RateLimitScanResult, ServerVerdict,
     };
+    pub use crate::scan_seed;
     pub use crate::shared::{run_scan as run_shared_scan, SharedScanResult};
     pub use crate::snoop::{
         probed_records, run_survey, scan_resolver, ResolverOutcome, SurveyResult,

@@ -66,13 +66,8 @@ impl PmtudScanResult {
     /// CDF value at a threshold, over *fragmenting unsigned* nameservers
     /// (Fig. 5's population).
     pub fn cdf_at(&self, threshold: u16) -> f64 {
-        let count = self
-            .cdf
-            .iter()
-            .filter(|(t, _)| *t <= threshold)
-            .map(|(_, c)| *c)
-            .max()
-            .unwrap_or(0);
+        let count =
+            self.cdf.iter().filter(|(t, _)| *t <= threshold).map(|(_, c)| *c).max().unwrap_or(0);
         count as f64 / self.vulnerable.max(1) as f64
     }
 
@@ -101,7 +96,10 @@ impl Host for Probe {
             .expect("stub encodes");
         let embedded =
             Ipv4Packet::udp(self.target, ctx.addr(), 0, stub).encode().expect("stub packet");
-        ctx.send_icmp(self.target, IcmpMessage::FragmentationNeeded { mtu: 68, original: embedded });
+        ctx.send_icmp(
+            self.target,
+            IcmpMessage::FragmentationNeeded { mtu: 68, original: embedded },
+        );
         ctx.set_timer(SimDuration::from_millis(200), 0);
     }
 
@@ -121,11 +119,8 @@ impl Host for Probe {
     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: &Datagram) {
         if let Ok(msg) = Message::decode(&d.payload) {
             self.answered = true;
-            self.signed = msg
-                .answers
-                .iter()
-                .chain(&msg.additionals)
-                .any(|r| r.rtype() == RecordType::Rrsig);
+            self.signed =
+                msg.answers.iter().chain(&msg.additionals).any(|r| r.rtype() == RecordType::Rrsig);
         }
     }
 }
@@ -157,8 +152,12 @@ pub fn scan_nameserver(spec: &NameserverSpec, seed: u64) -> PmtudVerdict {
         OsProfile::nameserver_no_pmtud()
     };
     let zone = scan_zone(&origin, spec.signed, 1700);
-    sim.add_host(ns_addr, profile, Box::new(AuthServer::new(vec![zone]).without_authority_sections()))
-        .expect("ns addr");
+    sim.add_host(
+        ns_addr,
+        profile,
+        Box::new(AuthServer::new(vec![zone]).without_authority_sections()),
+    )
+    .expect("ns addr");
     sim.add_host(
         probe_addr,
         OsProfile::linux(),
@@ -176,12 +175,7 @@ pub fn scan_nameserver(spec: &NameserverSpec, seed: u64) -> PmtudVerdict {
     PmtudVerdict {
         // The NS's floor shows as the size of its non-final fragments; a
         // floor at the interface MTU (no PMTUD honoured) is "no support".
-        min_fragment_size: probe
-            .fragment_sizes
-            .iter()
-            .copied()
-            .max()
-            .filter(|&s| s < 1500),
+        min_fragment_size: probe.fragment_sizes.iter().copied().max().filter(|&s| s < 1500),
         signed: probe.signed,
         answered: probe.answered,
     }
@@ -190,18 +184,20 @@ pub fn scan_nameserver(spec: &NameserverSpec, seed: u64) -> PmtudVerdict {
 /// Thresholds reported in Fig. 5.
 pub const CDF_THRESHOLDS: [u16; 5] = [68, 292, 548, 1276, 1492];
 
-/// Runs the scan over a population, in parallel.
-pub fn run_scan(population: &[NameserverSpec], seed: u64, threads: usize) -> PmtudScanResult {
-    let threads = threads.max(1);
-    let chunk = population.len().div_ceil(threads);
+/// Runs the scan over a population, in parallel. Per-item seeds come
+/// from [`crate::scan_seed`] on the population index, so results are
+/// identical for any worker count.
+pub fn run_scan(population: &[NameserverSpec], seed: u64, workers: usize) -> PmtudScanResult {
+    let workers = workers.max(1);
+    let chunk = population.len().div_ceil(workers).max(1);
     let verdicts: Vec<PmtudVerdict> = thread::scope(|s| {
         let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk.max(1)).enumerate() {
+        for (i, block) in population.chunks(chunk).enumerate() {
             handles.push(s.spawn(move |_| {
                 block
                     .iter()
                     .enumerate()
-                    .map(|(j, spec)| scan_nameserver(spec, seed ^ ((i * 977 + j) as u64)))
+                    .map(|(j, spec)| scan_nameserver(spec, crate::scan_seed(seed, i * chunk + j)))
                     .collect::<Vec<_>>()
             }));
         }
@@ -223,10 +219,7 @@ pub fn run_scan(population: &[NameserverSpec], seed: u64, threads: usize) -> Pmt
     result.cdf = CDF_THRESHOLDS
         .iter()
         .map(|&t| {
-            let count = verdicts
-                .iter()
-                .filter(|v| v.vulnerable() && v.fragments_below(t))
-                .count();
+            let count = verdicts.iter().filter(|v| v.vulnerable() && v.fragments_below(t)).count();
             (t, count)
         })
         .collect();

@@ -368,8 +368,8 @@ mod tests {
     #[test]
     fn nameserver_population_marginals() {
         let pop = domain_nameservers(50_000, 2);
-        let frag_unsigned = pop.iter().filter(|s| s.honours_pmtud && !s.signed).count() as f64
-            / pop.len() as f64;
+        let frag_unsigned =
+            pop.iter().filter(|s| s.honours_pmtud && !s.signed).count() as f64 / pop.len() as f64;
         assert!((frag_unsigned - 0.0766).abs() < 0.01, "frag+unsigned {frag_unsigned}");
         let fragging: Vec<_> = pop.iter().filter(|s| s.honours_pmtud && !s.signed).collect();
         let at_548 = fragging.iter().filter(|s| s.min_fragment_mtu <= 548).count() as f64
@@ -395,10 +395,7 @@ mod tests {
             pop.iter().filter(|s| s.cached[1].is_some()).count() as f64 / pop.len() as f64;
         assert!((a_cached - 0.6941).abs() < 0.01, "A cached {a_cached}");
         // Ages are within TTL.
-        assert!(pop
-            .iter()
-            .flat_map(|s| s.cached[1])
-            .all(|age| age < 150));
+        assert!(pop.iter().flat_map(|s| s.cached[1]).all(|age| age < 150));
     }
 
     #[test]
@@ -429,8 +426,10 @@ mod tests {
     #[test]
     fn shared_population_marginals() {
         let pop = shared_resolvers(SHARED_STUDY_SIZE, 6);
-        let smtp = pop.iter().filter(|s| s.smtp_shares && !s.open).count() as f64 / pop.len() as f64;
-        let open = pop.iter().filter(|s| s.open && !s.smtp_shares).count() as f64 / pop.len() as f64;
+        let smtp =
+            pop.iter().filter(|s| s.smtp_shares && !s.open).count() as f64 / pop.len() as f64;
+        let open =
+            pop.iter().filter(|s| s.open && !s.smtp_shares).count() as f64 / pop.len() as f64;
         let both = pop.iter().filter(|s| s.open && s.smtp_shares).count() as f64 / pop.len() as f64;
         assert!((smtp - 0.113).abs() < 0.01);
         assert!((open - 0.023).abs() < 0.005);

@@ -139,7 +139,12 @@ pub fn scan_server(spec: &PoolServerSpec, seed: u64) -> ServerVerdict {
         Box::new(Scanner {
             target: server_addr,
             sent: 0,
-            verdict: ServerVerdict { first_half: 0, second_half: 0, kod_seen: false, config_open: false },
+            verdict: ServerVerdict {
+                first_half: 0,
+                second_half: 0,
+                kod_seen: false,
+                config_open: false,
+            },
         }),
     )
     .expect("scanner addr");
@@ -147,18 +152,20 @@ pub fn scan_server(spec: &PoolServerSpec, seed: u64) -> ServerVerdict {
     sim.host::<Scanner>(scanner_addr).expect("scanner exists").verdict
 }
 
-/// Runs the full §VII-A scan over a population, in parallel.
-pub fn run_scan(population: &[PoolServerSpec], seed: u64, threads: usize) -> RateLimitScanResult {
-    let threads = threads.max(1);
-    let chunk = population.len().div_ceil(threads);
+/// Runs the full §VII-A scan over a population, in parallel. Per-item
+/// seeds come from [`crate::scan_seed`] on the population index, so
+/// results are identical for any worker count.
+pub fn run_scan(population: &[PoolServerSpec], seed: u64, workers: usize) -> RateLimitScanResult {
+    let workers = workers.max(1);
+    let chunk = population.len().div_ceil(workers).max(1);
     let verdicts: Vec<ServerVerdict> = thread::scope(|s| {
         let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk.max(1)).enumerate() {
+        for (i, block) in population.chunks(chunk).enumerate() {
             handles.push(s.spawn(move |_| {
                 block
                     .iter()
                     .enumerate()
-                    .map(|(j, spec)| scan_server(spec, seed ^ ((i * 131 + j) as u64)))
+                    .map(|(j, spec)| scan_server(spec, crate::scan_seed(seed, i * chunk + j)))
                     .collect::<Vec<_>>()
             }));
         }
@@ -235,10 +242,6 @@ mod tests {
             "rate limiting {}",
             result.rate_limit_fraction()
         );
-        assert!(
-            (result.kod_fraction() - 0.33).abs() < 0.08,
-            "kod {}",
-            result.kod_fraction()
-        );
+        assert!((result.kod_fraction() - 0.33).abs() < 0.08, "kod {}", result.kod_fraction());
     }
 }

@@ -302,10 +302,7 @@ mod tests {
         let population = shared_resolvers(400, 2);
         let result = run_scan(&population, 3);
         let frac = result.triggerable_fraction();
-        assert!(
-            (frac - 0.138).abs() < 0.05,
-            "triggerable {frac} (paper: 13.8 %); {result:?}"
-        );
+        assert!((frac - 0.138).abs() < 0.05, "triggerable {frac} (paper: 13.8 %); {result:?}");
         assert!(result.web_only > result.triggerable());
     }
 }

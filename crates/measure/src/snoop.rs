@@ -14,7 +14,6 @@
 
 use std::net::Ipv4Addr;
 
-use crossbeam::thread;
 use dns::auth::{spawn_zone_nameservers, DNS_PORT};
 use dns::dnssec::ZoneKey;
 use dns::message::Message;
@@ -83,7 +82,8 @@ impl SurveyResult {
 
     /// Histogram of Fig. 6 (bucket width in seconds).
     pub fn ttl_histogram(&self, bucket: u32, max: u32) -> Vec<(u32, usize)> {
-        let mut out: Vec<(u32, usize)> = (0..max.div_ceil(bucket)).map(|i| (i * bucket, 0)).collect();
+        let mut out: Vec<(u32, usize)> =
+            (0..max.div_ceil(bucket)).map(|i| (i * bucket, 0)).collect();
         for &ttl in &self.ttl_samples {
             let idx = (ttl / bucket).min(out.len() as u32 - 1) as usize;
             out[idx].1 += 1;
@@ -153,7 +153,9 @@ impl Scanner {
     fn send_current(&mut self, ctx: &mut Ctx<'_>) {
         use Step::*;
         let (name, rtype, rd): (Name, RecordType, bool) = match self.step {
-            VerifyNoncached => ("known.canary.example".parse().expect("static"), RecordType::A, false),
+            VerifyNoncached => {
+                ("known.canary.example".parse().expect("static"), RecordType::A, false)
+            }
             Prime => ("prime.canary.example".parse().expect("static"), RecordType::A, true),
             VerifyCached => ("prime.canary.example".parse().expect("static"), RecordType::A, false),
             Snoop(i) => {
@@ -269,8 +271,12 @@ pub fn scan_resolver(spec: &OpenResolverSpec, seed: u64) -> ResolverOutcome {
     let pool_servers: Vec<Ipv4Addr> = (1..=8).map(|i| Ipv4Addr::new(192, 0, 2, i)).collect();
     let zone = pool_zone(pool_servers, 4, Ipv4Addr::new(198, 51, 100, 1));
     let ns_list = spawn_zone_nameservers(&mut sim, &zone, OsProfile::nameserver(548));
-    sim.add_host(AUX_NS, OsProfile::linux(), Box::new(dns::auth::AuthServer::new(vec![canary_zone()])))
-        .expect("aux ns");
+    sim.add_host(
+        AUX_NS,
+        OsProfile::linux(),
+        Box::new(dns::auth::AuthServer::new(vec![canary_zone()])),
+    )
+    .expect("aux ns");
     sim.add_host(
         FRAG_NS,
         OsProfile::linux(),
@@ -303,7 +309,12 @@ pub fn scan_resolver(spec: &OpenResolverSpec, seed: u64) -> ResolverOutcome {
             }
             _ => Record::a(name.clone(), remaining, Ipv4Addr::new(192, 0, 2, 1)),
         };
-        resolver.cache_mut().insert(netsim::time::SimTime::ZERO, name.clone(), *rtype, vec![record]);
+        resolver.cache_mut().insert(
+            netsim::time::SimTime::ZERO,
+            name.clone(),
+            *rtype,
+            vec![record],
+        );
     }
     sim.add_host(RESOLVER, profile, Box::new(resolver)).expect("resolver");
     sim.add_host(
@@ -337,26 +348,12 @@ pub fn scan_resolver(spec: &OpenResolverSpec, seed: u64) -> ResolverOutcome {
     outcome
 }
 
-/// Runs the survey over a population, in parallel.
-pub fn run_survey(population: &[OpenResolverSpec], seed: u64, threads: usize) -> SurveyResult {
-    let threads = threads.max(1);
-    let chunk = population.len().div_ceil(threads);
-    let outcomes: Vec<ResolverOutcome> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk.max(1)).enumerate() {
-            handles.push(s.spawn(move |_| {
-                block
-                    .iter()
-                    .enumerate()
-                    .map(|(j, spec)| scan_resolver(spec, seed ^ ((i * 313 + j) as u64)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("survey thread")).collect()
-    })
-    .expect("survey scope");
-    let mut result = SurveyResult { probed: population.len(), ..Default::default() };
-    for o in &outcomes {
+/// Folds per-resolver outcomes (in population order) into the aggregate
+/// survey result. Exposed so parallel drivers (the `timeshift` trial
+/// runner) can scan with [`scan_resolver`] and merge here.
+pub fn aggregate_outcomes(probed: usize, outcomes: &[ResolverOutcome]) -> SurveyResult {
+    let mut result = SurveyResult { probed, ..Default::default() };
+    for o in outcomes {
         if !o.verified {
             continue;
         }
@@ -377,6 +374,20 @@ pub fn run_survey(population: &[OpenResolverSpec], seed: u64, threads: usize) ->
         }
     }
     result
+}
+
+/// Runs the survey over a population: the reference implementation of the
+/// pipeline — [`scan_resolver`] per item seeded by [`crate::scan_seed`] on
+/// its population index, folded by [`aggregate_outcomes`]. Parallel
+/// drivers (the `timeshift` trial runner) fan the same pieces across
+/// workers; both paths are bit-identical.
+pub fn run_survey(population: &[OpenResolverSpec], seed: u64) -> SurveyResult {
+    let outcomes: Vec<ResolverOutcome> = population
+        .iter()
+        .enumerate()
+        .map(|(idx, spec)| scan_resolver(spec, crate::scan_seed(seed, idx)))
+        .collect();
+    aggregate_outcomes(population.len(), &outcomes)
 }
 
 #[cfg(test)]
@@ -438,7 +449,7 @@ mod tests {
     #[test]
     fn small_survey_recovers_table4_shape() {
         let population = open_resolvers(150, 7);
-        let result = run_survey(&population, 8, 4);
+        let result = run_survey(&population, 8);
         assert!(result.verified > 0);
         // A-record row must be the most-cached one, near 69 %.
         let a = result.cached_fraction(1);

@@ -116,11 +116,14 @@ mod tests {
 
     #[test]
     fn oc_sub_inverts_oc_add() {
-        for &(a, b) in &[(0x1234u16, 0x0FFFu16), (0xFFFE, 0x0001), (0x0001, 0xFFFE), (0xABCD, 0xABCD)] {
+        for &(a, b) in
+            &[(0x1234u16, 0x0FFFu16), (0xFFFE, 0x0001), (0x0001, 0xFFFE), (0xABCD, 0xABCD)]
+        {
             let diff = oc_sub(a, b);
             let back = oc_add(diff, b);
             // In ones'-complement 0x0000 and 0xFFFF are both zero.
-            let eq = back == a || (back == 0xFFFF && a == 0x0000) || (back == 0x0000 && a == 0xFFFF);
+            let eq =
+                back == a || (back == 0xFFFF && a == 0x0000) || (back == 0x0000 && a == 0xFFFF);
             assert!(eq, "a={a:#06x} b={b:#06x} diff={diff:#06x} back={back:#06x}");
         }
     }

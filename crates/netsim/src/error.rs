@@ -124,6 +124,13 @@ pub enum SimError {
         /// The missing address.
         addr: std::net::Ipv4Addr,
     },
+    /// The event budget set via
+    /// [`set_event_budget`](crate::sim::Simulator::set_event_budget) ran
+    /// out with events still queued.
+    EventBudgetExceeded {
+        /// The configured budget.
+        max_events: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -131,6 +138,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::DuplicateAddress { addr } => write!(f, "duplicate host address {addr}"),
             SimError::NoSuchHost { addr } => write!(f, "no host registered at {addr}"),
+            SimError::EventBudgetExceeded { max_events } => {
+                write!(f, "event budget of {max_events} exhausted with events still queued")
+            }
         }
     }
 }

@@ -8,7 +8,7 @@
 //! 30 s (Linux) and 60–120 s (Windows), and caps of 64 / 100 concurrently
 //! pending fragments.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bytes::{Bytes, BytesMut};
@@ -159,12 +159,28 @@ pub struct DefragCache {
     entries: HashMap<FragKey, Entry>,
     /// Count of pending fragments per (src, dst), enforcing the OS cap.
     pending: HashMap<(Ipv4Addr, Ipv4Addr), usize>,
+    /// Creation-time-ordered ring of reassembly entries: [`expire`]
+    /// pops expired entries off the front instead of scanning the whole
+    /// table. Entries completed (or replaced under the same key) before
+    /// their timeout are left in the ring as stale markers and skipped.
+    ///
+    /// Invariant: insert times are non-decreasing — the simulator's clock
+    /// is monotonic. Out-of-order direct inserts merely delay expiry of
+    /// entries queued behind a younger head.
+    ///
+    /// [`expire`]: DefragCache::expire
+    expiry: VecDeque<(SimTime, FragKey)>,
 }
 
 impl DefragCache {
     /// Creates an empty cache with the given configuration.
     pub fn new(config: DefragConfig) -> Self {
-        DefragCache { config, entries: HashMap::new(), pending: HashMap::new() }
+        DefragCache {
+            config,
+            entries: HashMap::new(),
+            pending: HashMap::new(),
+            expiry: VecDeque::new(),
+        }
     }
 
     /// Number of distinct pending reassemblies.
@@ -195,9 +211,10 @@ impl DefragCache {
             // limit the paper cites (64 on Linux / 100 on Windows).
             return None;
         }
-        let entry = self.entries.entry(key).or_insert_with(|| Entry {
-            fragments: Vec::new(),
-            created: now,
+        let expiry = &mut self.expiry;
+        let entry = self.entries.entry(key).or_insert_with(|| {
+            expiry.push_back((now, key));
+            Entry { fragments: Vec::new(), created: now }
         });
         let new_frag = StoredFrag {
             offset: pkt.payload_offset(),
@@ -237,19 +254,32 @@ impl DefragCache {
     }
 
     /// Drops reassemblies older than the configured timeout.
+    ///
+    /// O(expired) per call: the expiry ring is ordered by creation time, so
+    /// this pops expired entries off the front and never scans the live
+    /// remainder of the table.
     pub fn expire(&mut self, now: SimTime) {
         let timeout = self.config.timeout;
-        let pending = &mut self.pending;
-        self.entries.retain(|key, entry| {
-            let keep = now.saturating_since(entry.created) < timeout;
-            if !keep {
-                Self::debit(pending, (key.src, key.dst), entry.fragments.len());
+        while let Some(&(created, key)) = self.expiry.front() {
+            if now.saturating_since(created) < timeout {
+                break;
             }
-            keep
-        });
+            self.expiry.pop_front();
+            // Stale marker: the entry completed earlier, or the key was
+            // re-created by a younger reassembly (its own marker follows).
+            let live = self.entries.get(&key).is_some_and(|e| e.created == created);
+            if live {
+                let entry = self.entries.remove(&key).expect("checked above");
+                Self::debit(&mut self.pending, (key.src, key.dst), entry.fragments.len());
+            }
+        }
     }
 
-    fn debit(pending: &mut HashMap<(Ipv4Addr, Ipv4Addr), usize>, pair: (Ipv4Addr, Ipv4Addr), n: usize) {
+    fn debit(
+        pending: &mut HashMap<(Ipv4Addr, Ipv4Addr), usize>,
+        pair: (Ipv4Addr, Ipv4Addr),
+        n: usize,
+    ) {
         if let Some(count) = pending.get_mut(&pair) {
             *count = count.saturating_sub(n);
             if *count == 0 {
@@ -262,10 +292,7 @@ impl DefragCache {
 /// Attempts to assemble a complete payload from stored fragments: requires a
 /// final fragment (`more == false`) and gap-free coverage from offset 0.
 fn try_reassemble(fragments: &[StoredFrag]) -> Option<Bytes> {
-    let total = fragments
-        .iter()
-        .find(|f| !f.more)
-        .map(|f| f.offset + f.data.len())?;
+    let total = fragments.iter().find(|f| !f.more).map(|f| f.offset + f.data.len())?;
     let mut sorted: Vec<&StoredFrag> = fragments.iter().collect();
     sorted.sort_by_key(|f| f.offset);
     let mut covered = 0usize;
@@ -421,6 +448,64 @@ mod tests {
         }
         assert_eq!(cache.pending_for_pair(p.src, p.dst), 4);
         assert_eq!(cache.pending_reassemblies(), 4);
+    }
+
+    #[test]
+    fn overload_never_exceeds_cap_and_expires_in_creation_order() {
+        // The paper's 64-entry Linux cache under a planting spray: pending
+        // reassemblies must never exceed the cap, and once the spray stops,
+        // entries expire strictly oldest-first.
+        let config = DefragConfig { max_pending_per_pair: 64, ..DefragConfig::default() };
+        let mut cache = DefragCache::new(config);
+        let template = fragment(&pkt(2000, 0), 1028).unwrap()[1].clone();
+        // 200 planted second-fragments, one per 100 ms, distinct IPIDs.
+        for id in 0..200u16 {
+            let mut f = template.clone();
+            f.id = id;
+            let t = SimTime::ZERO + SimDuration::from_millis(u64::from(id) * 100);
+            cache.insert(t, &f);
+            assert!(
+                cache.pending_reassemblies() <= 64,
+                "cap breached at id {id}: {}",
+                cache.pending_reassemblies()
+            );
+        }
+        // Only the first 64 got in (FirstWins cap: later fragments dropped).
+        assert_eq!(cache.pending_reassemblies(), 64);
+        assert_eq!(cache.pending_for_pair(template.src, template.dst), 64);
+        // Advance past the timeout of the first 10 entries only: exactly
+        // those must be gone (creation order), the younger 54 retained.
+        let cutoff =
+            SimTime::ZERO + DefragConfig::default().timeout + SimDuration::from_millis(950);
+        cache.expire(cutoff);
+        assert_eq!(cache.pending_reassemblies(), 54, "oldest 10 expired first");
+        // Expiring far in the future drains everything and the pair debit.
+        cache.expire(SimTime::ZERO + SimDuration::from_secs(3600));
+        assert_eq!(cache.pending_reassemblies(), 0);
+        assert_eq!(cache.pending_for_pair(template.src, template.dst), 0);
+    }
+
+    #[test]
+    fn ring_skips_entries_completed_before_their_timeout() {
+        // Complete a reassembly, then re-plant under the same key: the stale
+        // ring marker of the completed entry must not expire the new one
+        // prematurely, and the new entry still expires on its own clock.
+        let p = pkt(2000, 42);
+        let frags = fragment(&p, 1028).unwrap();
+        let mut cache = DefragCache::new(DefragConfig::default());
+        cache.insert(SimTime::ZERO, &frags[1]);
+        assert!(cache.insert(SimTime::ZERO, &frags[0]).is_some(), "completes");
+        assert_eq!(cache.pending_reassemblies(), 0);
+        // Re-plant the second fragment 10 s later under the same key.
+        let t10 = SimTime::ZERO + SimDuration::from_secs(10);
+        cache.insert(t10, &frags[1]);
+        assert_eq!(cache.pending_reassemblies(), 1);
+        // At t=31 s the ORIGINAL entry would have expired; the re-planted
+        // one (created t=10 s) must survive until t=40 s.
+        cache.expire(SimTime::ZERO + SimDuration::from_secs(31));
+        assert_eq!(cache.pending_reassemblies(), 1, "young entry survives stale marker");
+        cache.expire(SimTime::ZERO + SimDuration::from_secs(41));
+        assert_eq!(cache.pending_reassemblies(), 0, "young entry expires on its own clock");
     }
 
     #[test]

@@ -130,10 +130,9 @@ mod tests {
 
     #[test]
     fn echo_round_trip() {
-        for msg in [
-            IcmpMessage::EchoRequest { id: 77, seq: 3 },
-            IcmpMessage::EchoReply { id: 77, seq: 3 },
-        ] {
+        for msg in
+            [IcmpMessage::EchoRequest { id: 77, seq: 3 }, IcmpMessage::EchoReply { id: 77, seq: 3 }]
+        {
             assert_eq!(IcmpMessage::decode(&msg.encode()).unwrap(), msg);
         }
     }

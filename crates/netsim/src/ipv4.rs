@@ -68,10 +68,7 @@ impl Ipv4Packet {
 
     /// Builds an unfragmented ICMP-carrying packet with default TTL 64.
     pub fn icmp(src: Ipv4Addr, dst: Ipv4Addr, id: u16, payload: Bytes) -> Self {
-        Ipv4Packet {
-            protocol: PROTO_ICMP,
-            ..Ipv4Packet::udp(src, dst, id, payload)
-        }
+        Ipv4Packet { protocol: PROTO_ICMP, ..Ipv4Packet::udp(src, dst, id, payload) }
     }
 
     /// True if this packet is one fragment of a larger datagram.
@@ -239,10 +236,7 @@ mod tests {
     #[test]
     fn decode_rejects_truncation() {
         let wire = sample().encode().unwrap();
-        assert!(matches!(
-            Ipv4Packet::decode(&wire[..10]),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(Ipv4Packet::decode(&wire[..10]), Err(WireError::Truncated { .. })));
     }
 
     #[test]

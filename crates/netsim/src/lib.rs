@@ -65,8 +65,10 @@ pub mod prelude {
     pub use crate::icmp::IcmpMessage;
     pub use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, MIN_IPV4_MTU, PROTO_ICMP, PROTO_UDP};
     pub use crate::link::{LinkSpec, Topology};
-    pub use crate::os::{IpidMode, OsProfile, PmtudPolicy};
-    pub use crate::sim::{Ctx, Datagram, Host, NetStack, SimStats, Simulator, StackOutput, TimerToken};
+    pub use crate::os::{IpidMode, OsProfile, PmtudPolicy, DEFAULT_IPID_CACHE_CAP};
+    pub use crate::sim::{
+        Ctx, Datagram, Host, HostId, NetStack, SimStats, Simulator, StackOutput, TimerToken,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::udp::{UdpDatagram, UDP_HEADER_LEN};
 }

@@ -97,7 +97,15 @@ pub struct OsProfile {
     pub pmtud: PmtudPolicy,
     /// IPID assignment strategy.
     pub ipid: IpidMode,
+    /// Cap on the per-destination IPID counter table
+    /// ([`IpidMode::PerDestination`]): least-recently-used counters are
+    /// evicted past this, bounding memory under spoofed-source sprays.
+    pub ipid_cache_cap: usize,
 }
+
+/// Default [`OsProfile::ipid_cache_cap`]: enough for every paper scenario
+/// while keeping a sprayed stack's footprint bounded.
+pub const DEFAULT_IPID_CACHE_CAP: usize = 4096;
 
 impl OsProfile {
     /// Patched Linux: 30 s reassembly timeout, 64-fragment cap, sequential
@@ -115,6 +123,7 @@ impl OsProfile {
             min_fragment_size: 0,
             pmtud: PmtudPolicy::honour_down_to(552),
             ipid: IpidMode::PerDestination { start: 1 },
+            ipid_cache_cap: DEFAULT_IPID_CACHE_CAP,
         }
     }
 
@@ -133,6 +142,7 @@ impl OsProfile {
             min_fragment_size: 0,
             pmtud: PmtudPolicy::honour_down_to(576),
             ipid: IpidMode::GlobalSequential { start: 1 },
+            ipid_cache_cap: DEFAULT_IPID_CACHE_CAP,
         }
     }
 

@@ -5,10 +5,21 @@
 //! real encoded IPv4 bytes-on-structs; delivery times come from the
 //! [`Topology`]'s link specs; everything is driven by a deterministic,
 //! seeded event heap.
+//!
+//! ## Engine layout
+//!
+//! Hosts live in a dense slab: [`Simulator::add_host`] interns the address
+//! into a [`HostId`] once, and the event loop addresses hosts and stacks by
+//! slab index — the hot dispatch path performs no hash lookups. Packets
+//! resolve their destination `HostId` when they are put on the wire; a
+//! packet addressed to a host registered only *after* transmission falls
+//! back to one interner lookup at delivery time. Host callbacks write their
+//! deferred effects into a scratch buffer owned by the simulator, so steady
+//! state dispatch allocates nothing.
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -28,6 +39,19 @@ use crate::udp::UdpDatagram;
 /// Token identifying a timer set by a host; the host chooses the value and
 /// receives it back in [`Host::on_timer`].
 pub type TimerToken = u64;
+
+/// Dense index of a registered host: the slab slot assigned by
+/// [`Simulator::add_host`]. Event dispatch addresses hosts by this index
+/// instead of hashing their [`Ipv4Addr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// The slab index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A reassembled, checksum-verified UDP datagram as delivered to a host.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +92,13 @@ pub trait Host: Any {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
 }
 
+/// Per-destination IPID counter plus its last-use tick (for LRU eviction).
+#[derive(Debug, Clone, Copy)]
+struct IpidSlot {
+    counter: u16,
+    tick: u64,
+}
+
 /// Per-host network stack: fragmentation on send, reassembly and
 /// verification on receive, PMTUD bookkeeping, IPID assignment.
 #[derive(Debug)]
@@ -76,7 +107,12 @@ pub struct NetStack {
     defrag: DefragCache,
     pmtu: PmtuCache,
     ipid_global: u16,
-    ipid_per_dst: HashMap<Ipv4Addr, u16>,
+    ipid_per_dst: HashMap<Ipv4Addr, IpidSlot>,
+    /// LRU order of `ipid_per_dst` accesses, lazily cleaned: entries whose
+    /// tick no longer matches the map are stale and skipped on eviction.
+    ipid_lru: VecDeque<(u64, Ipv4Addr)>,
+    ipid_tick: u64,
+    ipid_evictions: u64,
 }
 
 /// What a stack hands up after processing an arriving packet.
@@ -105,6 +141,9 @@ impl NetStack {
             pmtu: PmtuCache::new(),
             ipid_global: ipid_start,
             ipid_per_dst: HashMap::new(),
+            ipid_lru: VecDeque::new(),
+            ipid_tick: 0,
+            ipid_evictions: 0,
             profile,
         }
     }
@@ -122,14 +161,49 @@ impl NetStack {
                 self.ipid_global = self.ipid_global.wrapping_add(1);
                 id
             }
-            IpidMode::PerDestination { start } => {
-                let counter = self.ipid_per_dst.entry(dst).or_insert(start);
-                let id = *counter;
-                *counter = counter.wrapping_add(1);
-                id
-            }
+            IpidMode::PerDestination { start } => self.next_ipid_per_dst(dst, start),
             IpidMode::Random => rng.random(),
         }
+    }
+
+    /// Per-destination counter with an LRU-bounded table: spoofed-source
+    /// sprays touch unbounded destination sets, so the map is capped at
+    /// [`OsProfile::ipid_cache_cap`] and the least-recently-used counter is
+    /// evicted (and counted) past the cap.
+    fn next_ipid_per_dst(&mut self, dst: Ipv4Addr, start: u16) -> u16 {
+        self.ipid_tick += 1;
+        let tick = self.ipid_tick;
+        let slot = self.ipid_per_dst.entry(dst).or_insert(IpidSlot { counter: start, tick });
+        let id = slot.counter;
+        slot.counter = slot.counter.wrapping_add(1);
+        slot.tick = tick;
+        self.ipid_lru.push_back((tick, dst));
+        let cap = self.profile.ipid_cache_cap.max(1);
+        if self.ipid_per_dst.len() > cap {
+            while let Some((t, addr)) = self.ipid_lru.pop_front() {
+                if self.ipid_per_dst.get(&addr).is_some_and(|s| s.tick == t) {
+                    self.ipid_per_dst.remove(&addr);
+                    self.ipid_evictions += 1;
+                    break;
+                }
+            }
+        }
+        // Compact the lazily-cleaned queue before stale entries dominate.
+        if self.ipid_lru.len() > 2 * cap + 64 {
+            let map = &self.ipid_per_dst;
+            self.ipid_lru.retain(|(t, addr)| map.get(addr).is_some_and(|s| s.tick == *t));
+        }
+        id
+    }
+
+    /// Destinations currently tracked by the per-destination IPID table.
+    pub fn ipid_tracked_destinations(&self) -> usize {
+        self.ipid_per_dst.len()
+    }
+
+    /// IPID counters evicted past [`OsProfile::ipid_cache_cap`].
+    pub fn ipid_evictions(&self) -> u64 {
+        self.ipid_evictions
     }
 
     /// Encodes and (if needed) fragments a UDP datagram for the wire,
@@ -170,7 +244,8 @@ impl NetStack {
         let complete = self.defrag.insert(now, pkt)?;
         match complete.protocol {
             PROTO_UDP => {
-                let dgram = UdpDatagram::decode(&complete.payload, complete.src, complete.dst).ok()?;
+                let dgram =
+                    UdpDatagram::decode(&complete.payload, complete.src, complete.dst).ok()?;
                 Some(StackOutput::Udp(Datagram {
                     src: complete.src,
                     dst: complete.dst,
@@ -260,10 +335,8 @@ impl<'a> Ctx<'a> {
     /// Sends a UDP datagram from this host (fragmented per the stack's path
     /// MTU towards `dst`).
     pub fn send_udp(&mut self, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Bytes) {
-        self.actions.push(Action::SendUdp {
-            dst,
-            dgram: UdpDatagram::new(src_port, dst_port, payload),
-        });
+        self.actions
+            .push(Action::SendUdp { dst, dgram: UdpDatagram::new(src_port, dst_port, payload) });
     }
 
     /// Sends an ICMP message from this host.
@@ -321,6 +394,11 @@ pub struct SimStats {
     pub datagrams_dropped: u64,
     /// Timer firings.
     pub timers_fired: u64,
+    /// Events dispatched by the loop (arrivals + timers + starts).
+    pub events_dispatched: u64,
+    /// Per-destination IPID counters evicted past the cache cap, summed
+    /// over all host stacks.
+    pub ipid_evictions: u64,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -332,9 +410,19 @@ struct Event {
 
 #[derive(Debug, PartialEq, Eq)]
 enum EventKind {
-    Start { host: Ipv4Addr },
-    Arrival { pkt: Ipv4Packet },
-    Timer { host: Ipv4Addr, token: TimerToken },
+    Start {
+        host: HostId,
+    },
+    Arrival {
+        /// Destination resolved at transmit time; `None` when the address
+        /// had no registered host yet (re-resolved once at delivery).
+        dst: Option<HostId>,
+        pkt: Ipv4Packet,
+    },
+    Timer {
+        host: HostId,
+        token: TimerToken,
+    },
 }
 
 impl Ord for Event {
@@ -347,6 +435,13 @@ impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// One slab slot: a host, its stack, and the address they answer to.
+struct HostSlot {
+    addr: Ipv4Addr,
+    host: Box<dyn Host>,
+    stack: NetStack,
 }
 
 /// The deterministic discrete-event simulator.
@@ -369,11 +464,15 @@ pub struct Simulator {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Reverse<Event>>,
-    hosts: HashMap<Ipv4Addr, Box<dyn Host>>,
-    stacks: HashMap<Ipv4Addr, NetStack>,
+    slots: Vec<HostSlot>,
+    addr_to_id: HashMap<Ipv4Addr, HostId>,
     topology: Topology,
     rng: SmallRng,
     stats: SimStats,
+    /// Reusable action buffer handed to host callbacks (no per-event
+    /// allocation on the dispatch path).
+    scratch: Vec<Action>,
+    max_events: u64,
 }
 
 impl Simulator {
@@ -384,11 +483,13 @@ impl Simulator {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            hosts: HashMap::new(),
-            stacks: HashMap::new(),
+            slots: Vec::new(),
+            addr_to_id: HashMap::new(),
             topology: Topology::default(),
             rng: SmallRng::seed_from_u64(seed),
             stats: SimStats::default(),
+            scratch: Vec::new(),
+            max_events: u64::MAX,
         }
     }
 
@@ -402,9 +503,26 @@ impl Simulator {
         self.now
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters. IPID evictions are summed over the host stacks
+    /// at call time.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.ipid_evictions = self.slots.iter().map(|s| s.stack.ipid_evictions()).sum();
+        stats
+    }
+
+    /// Caps how many events any run method may dispatch over the whole
+    /// simulation. [`Simulator::run_to_completion`] errors on overrun;
+    /// [`Simulator::run_until`] / [`Simulator::run_for`] stop dispatching
+    /// (check [`Simulator::event_budget_exhausted`]). Guards against hosts
+    /// with self-rearming timers hanging the process. Default: unlimited.
+    pub fn set_event_budget(&mut self, max_events: u64) {
+        self.max_events = max_events;
+    }
+
+    /// Whether the event budget has been used up.
+    pub fn event_budget_exhausted(&self) -> bool {
+        self.stats.events_dispatched >= self.max_events
     }
 
     /// Mutable access to the topology (links can change mid-simulation).
@@ -412,7 +530,8 @@ impl Simulator {
         &mut self.topology
     }
 
-    /// Registers a host at `addr` with the given OS profile.
+    /// Registers a host at `addr` with the given OS profile and returns its
+    /// dense [`HostId`].
     ///
     /// # Errors
     ///
@@ -422,48 +541,69 @@ impl Simulator {
         addr: Ipv4Addr,
         profile: OsProfile,
         host: Box<dyn Host>,
-    ) -> Result<(), SimError> {
-        if self.hosts.contains_key(&addr) {
+    ) -> Result<HostId, SimError> {
+        if self.addr_to_id.contains_key(&addr) {
             return Err(SimError::DuplicateAddress { addr });
         }
-        self.hosts.insert(addr, host);
-        self.stacks.insert(addr, NetStack::new(profile));
+        let id = HostId(u32::try_from(self.slots.len()).expect("fewer than 2^32 hosts"));
+        self.addr_to_id.insert(addr, id);
+        self.slots.push(HostSlot { addr, host, stack: NetStack::new(profile) });
         let at = self.now;
-        self.push_event(at, EventKind::Start { host: addr });
-        Ok(())
+        self.push_event(at, EventKind::Start { host: id });
+        Ok(id)
+    }
+
+    /// The dense id assigned to `addr`, if a host is registered there.
+    pub fn host_id(&self, addr: Ipv4Addr) -> Option<HostId> {
+        self.addr_to_id.get(&addr).copied()
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Immutable, downcast access to a host (after or during a run).
     pub fn host<T: Host>(&self, addr: Ipv4Addr) -> Option<&T> {
-        let h = self.hosts.get(&addr)?;
-        (h.as_ref() as &dyn Any).downcast_ref::<T>()
+        let id = self.host_id(addr)?;
+        (self.slots[id.index()].host.as_ref() as &dyn Any).downcast_ref::<T>()
     }
 
     /// Mutable, downcast access to a host.
     pub fn host_mut<T: Host>(&mut self, addr: Ipv4Addr) -> Option<&mut T> {
-        let h = self.hosts.get_mut(&addr)?;
-        (h.as_mut() as &mut dyn Any).downcast_mut::<T>()
+        let id = self.host_id(addr)?;
+        (self.slots[id.index()].host.as_mut() as &mut dyn Any).downcast_mut::<T>()
     }
 
     /// Access a host's network stack (introspection in tests).
     pub fn stack(&self, addr: Ipv4Addr) -> Option<&NetStack> {
-        self.stacks.get(&addr)
+        let id = self.host_id(addr)?;
+        Some(&self.slots[id.index()].stack)
     }
 
-    /// Runs until the event queue is exhausted or `deadline` is reached;
-    /// `now` afterwards equals `deadline` (or the last event time if the
-    /// queue drained first and was later).
+    /// Runs until the event queue is exhausted, `deadline` is reached, or
+    /// the event budget runs out; `now` afterwards equals `deadline` even
+    /// in the budget-exhausted case, so time-polling loops (step to
+    /// `deadline`, check a predicate, repeat) still terminate. Events left
+    /// queued by an exhausted budget dispatch on a later run (after
+    /// raising the budget) without moving time backwards.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.drain_until(deadline);
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Dispatches queued events up to `deadline` within the event budget,
+    /// leaving `now` at the last dispatched event.
+    fn drain_until(&mut self, deadline: SimTime) {
         while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.at > deadline {
+            if ev.at > deadline || self.stats.events_dispatched >= self.max_events {
                 break;
             }
             let Reverse(ev) = self.heap.pop().expect("peeked event exists");
-            self.now = ev.at;
+            self.now = self.now.max(ev.at);
             self.dispatch(ev);
-        }
-        if self.now < deadline {
-            self.now = deadline;
         }
     }
 
@@ -473,10 +613,23 @@ impl Simulator {
         self.run_until(deadline);
     }
 
-    /// Processes every queued event regardless of time (the queue must be
-    /// finite; hosts with periodic timers never drain).
-    pub fn run_to_completion(&mut self) {
-        self.run_until(SimTime::MAX);
+    /// Processes every queued event regardless of time. `now` rests at the
+    /// last dispatched event (it does not jump to [`SimTime::MAX`]), so a
+    /// budget-exhausted simulation can be resumed with a raised budget and
+    /// an intact clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExceeded`] if a budget set via
+    /// [`Simulator::set_event_budget`] runs out with events still queued —
+    /// the guard that keeps a host with a self-rearming timer from hanging
+    /// the process. Without a budget the queue must be finite.
+    pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        self.drain_until(SimTime::MAX);
+        if !self.heap.is_empty() && self.event_budget_exhausted() {
+            return Err(SimError::EventBudgetExceeded { max_events: self.max_events });
+        }
+        Ok(())
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
@@ -486,46 +639,50 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, ev: Event) {
+        self.stats.events_dispatched += 1;
         match ev.kind {
             EventKind::Start { host } => self.call_host(host, HostInput::Start),
             EventKind::Timer { host, token } => {
                 self.stats.timers_fired += 1;
                 self.call_host(host, HostInput::Timer(token));
             }
-            EventKind::Arrival { pkt } => {
-                let dst = pkt.dst;
-                if !self.hosts.contains_key(&dst) {
+            EventKind::Arrival { dst, pkt } => {
+                // Transmit-time resolution covers the common case; a packet
+                // in flight towards a host registered after transmission
+                // resolves here instead.
+                let Some(id) = dst.or_else(|| self.host_id(pkt.dst)) else {
                     self.stats.packets_unrouted += 1;
                     return;
-                }
+                };
                 self.stats.packets_delivered += 1;
                 // Raw tap first: attacker-style hosts observe headers.
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.scratch);
                 let consumed = {
-                    let host = self.hosts.get_mut(&dst).expect("host exists");
+                    let slot = &mut self.slots[id.index()];
                     let mut ctx = Ctx {
                         now: self.now,
-                        addr: dst,
+                        addr: slot.addr,
                         rng: &mut self.rng,
                         actions: &mut actions,
                     };
-                    host.on_raw_packet(&mut ctx, &pkt)
+                    slot.host.on_raw_packet(&mut ctx, &pkt)
                 };
-                self.apply_actions(dst, actions);
+                self.apply_actions(id, &mut actions);
+                self.scratch = actions;
                 if consumed {
                     return;
                 }
                 let output = {
-                    let stack = self.stacks.get_mut(&dst).expect("stack exists for host");
-                    stack.receive(self.now, &pkt)
+                    let slot = &mut self.slots[id.index()];
+                    slot.stack.receive(self.now, &pkt)
                 };
                 match output {
                     Some(StackOutput::Udp(dgram)) => {
                         self.stats.datagrams_delivered += 1;
-                        self.call_host(dst, HostInput::Datagram(dgram));
+                        self.call_host(id, HostInput::Datagram(dgram));
                     }
                     Some(StackOutput::Icmp { from, msg }) => {
-                        self.call_host(dst, HostInput::Icmp(from, msg));
+                        self.call_host(id, HostInput::Icmp(from, msg));
                     }
                     None => {
                         if !pkt.is_fragment() || !pkt.more_fragments {
@@ -537,47 +694,46 @@ impl Simulator {
         }
     }
 
-    fn call_host(&mut self, addr: Ipv4Addr, input: HostInput) {
-        let mut actions = Vec::new();
+    fn call_host(&mut self, id: HostId, input: HostInput) {
+        let mut actions = std::mem::take(&mut self.scratch);
         {
-            let Some(host) = self.hosts.get_mut(&addr) else { return };
-            let mut ctx = Ctx {
-                now: self.now,
-                addr,
-                rng: &mut self.rng,
-                actions: &mut actions,
-            };
+            let slot = &mut self.slots[id.index()];
+            let mut ctx =
+                Ctx { now: self.now, addr: slot.addr, rng: &mut self.rng, actions: &mut actions };
             match input {
-                HostInput::Start => host.on_start(&mut ctx),
-                HostInput::Datagram(d) => host.on_datagram(&mut ctx, &d),
-                HostInput::Icmp(from, msg) => host.on_icmp(&mut ctx, from, &msg),
-                HostInput::Timer(token) => host.on_timer(&mut ctx, token),
+                HostInput::Start => slot.host.on_start(&mut ctx),
+                HostInput::Datagram(d) => slot.host.on_datagram(&mut ctx, &d),
+                HostInput::Icmp(from, msg) => slot.host.on_icmp(&mut ctx, from, &msg),
+                HostInput::Timer(token) => slot.host.on_timer(&mut ctx, token),
             }
         }
-        self.apply_actions(addr, actions);
+        self.apply_actions(id, &mut actions);
+        self.scratch = actions;
     }
 
-    fn apply_actions(&mut self, origin: Ipv4Addr, actions: Vec<Action>) {
-        for action in actions {
+    /// Drains `actions`, leaving the buffer empty (ready for reuse).
+    fn apply_actions(&mut self, origin: HostId, actions: &mut Vec<Action>) {
+        let origin_addr = self.slots[origin.index()].addr;
+        for action in actions.drain(..) {
             match action {
                 Action::SendUdp { dst, dgram } => {
                     let pkts = {
-                        let stack = self.stacks.get_mut(&origin).expect("origin stack exists");
-                        stack.send_udp(self.now, origin, dst, &dgram, &mut self.rng)
+                        let slot = &mut self.slots[origin.index()];
+                        slot.stack.send_udp(self.now, origin_addr, dst, &dgram, &mut self.rng)
                     };
                     for pkt in pkts {
-                        self.transmit(origin, pkt);
+                        self.transmit(origin_addr, pkt);
                     }
                 }
                 Action::SendIcmp { dst, msg } => {
                     let id = {
-                        let stack = self.stacks.get_mut(&origin).expect("origin stack exists");
-                        stack.next_ipid(dst, &mut self.rng)
+                        let slot = &mut self.slots[origin.index()];
+                        slot.stack.next_ipid(dst, &mut self.rng)
                     };
-                    let pkt = Ipv4Packet::icmp(origin, dst, id, msg.encode());
-                    self.transmit(origin, pkt);
+                    let pkt = Ipv4Packet::icmp(origin_addr, dst, id, msg.encode());
+                    self.transmit(origin_addr, pkt);
                 }
-                Action::SendRaw(pkt) => self.transmit(origin, pkt),
+                Action::SendRaw(pkt) => self.transmit(origin_addr, pkt),
                 Action::SetTimer { at, token } => {
                     self.push_event(at, EventKind::Timer { host: origin, token });
                 }
@@ -592,7 +748,8 @@ impl Simulator {
         match link.sample(&mut self.rng) {
             Some(delay) => {
                 let at = self.now + delay;
-                self.push_event(at, EventKind::Arrival { pkt });
+                let dst = self.host_id(pkt.dst);
+                self.push_event(at, EventKind::Arrival { dst, pkt });
             }
             None => self.stats.packets_lost += 1,
         }
@@ -610,9 +767,9 @@ impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
-            .field("hosts", &self.hosts.len())
+            .field("hosts", &self.slots.len())
             .field("queued_events", &self.heap.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -695,6 +852,19 @@ mod tests {
     }
 
     #[test]
+    fn host_ids_are_dense_and_stable() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_host(A, OsProfile::linux(), Box::new(Echo { received: 0 })).unwrap();
+        let b = sim.add_host(B, OsProfile::linux(), Box::new(Echo { received: 0 })).unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(sim.host_id(A), Some(a));
+        assert_eq!(sim.host_id(B), Some(b));
+        assert_eq!(sim.host_id("192.0.2.1".parse().unwrap()), None);
+        assert_eq!(sim.host_count(), 2);
+    }
+
+    #[test]
     fn unrouted_packets_are_counted() {
         struct Blaster;
         impl Host for Blaster {
@@ -706,6 +876,32 @@ mod tests {
         sim.add_host(A, OsProfile::linux(), Box::new(Blaster)).unwrap();
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(sim.stats().packets_unrouted, 1);
+    }
+
+    #[test]
+    fn packet_in_flight_reaches_late_registered_host() {
+        // A packet transmitted before its destination exists resolves at
+        // delivery time (transmit-time HostId resolution must not drop it).
+        struct Blaster {
+            peer: Ipv4Addr,
+        }
+        impl Host for Blaster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_udp(self.peer, 1, 2, Bytes::from_static(b"early"));
+            }
+        }
+        let mut sim = Simulator::with_topology(
+            9,
+            Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(50))),
+        );
+        sim.add_host(A, OsProfile::linux(), Box::new(Blaster { peer: B })).unwrap();
+        // Launch the packet, then register B while it is still in flight.
+        sim.run_for(SimDuration::from_millis(10));
+        sim.add_host(B, OsProfile::linux(), Box::new(Echo { received: 0 })).unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        let echo: &Echo = sim.host(B).unwrap();
+        assert_eq!(echo.received, 1, "late host must still receive the packet");
+        assert_eq!(sim.stats().packets_unrouted, 0);
     }
 
     #[test]
@@ -767,10 +963,7 @@ mod tests {
                 )
                 .encode()
                 .unwrap();
-                ctx.send_icmp(
-                    self.victim,
-                    IcmpMessage::FragmentationNeeded { mtu: 576, original },
-                );
+                ctx.send_icmp(self.victim, IcmpMessage::FragmentationNeeded { mtu: 576, original });
             }
         }
         struct Sink {
@@ -806,7 +999,13 @@ mod tests {
         }
         impl Host for Spoofer {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                ctx.send_udp_spoofed(self.victim_src, self.dst, 123, 123, Bytes::from_static(b"spoof"));
+                ctx.send_udp_spoofed(
+                    self.victim_src,
+                    self.dst,
+                    123,
+                    123,
+                    Bytes::from_static(b"spoof"),
+                );
             }
         }
         struct Sink {
@@ -831,8 +1030,7 @@ mod tests {
     fn determinism_same_seed_same_stats() {
         let run = |seed| {
             let mut sim = Simulator::new(seed);
-            sim.topology_mut()
-                .set_link_bidir(A, B, LinkSpec::wan().with_loss(0.2));
+            sim.topology_mut().set_link_bidir(A, B, LinkSpec::wan().with_loss(0.2));
             sim.add_host(A, OsProfile::linux(), Box::new(Pinger { peer: B, received: vec![] }))
                 .unwrap();
             sim.add_host(B, OsProfile::linux(), Box::new(Echo { received: 0 })).unwrap();
@@ -840,5 +1038,112 @@ mod tests {
             sim.stats()
         };
         assert_eq!(run(99), run(99));
+    }
+
+    /// Re-arms a timer on every firing: an infinite event source.
+    struct Metronome;
+    impl Host for Metronome {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+
+    #[test]
+    fn event_budget_stops_self_rearming_timer() {
+        let mut sim = Simulator::new(8);
+        sim.add_host(A, OsProfile::linux(), Box::new(Metronome)).unwrap();
+        sim.set_event_budget(1000);
+        let err = sim.run_to_completion();
+        assert!(matches!(err, Err(SimError::EventBudgetExceeded { max_events: 1000 })), "{err:?}");
+        assert!(sim.event_budget_exhausted());
+        assert_eq!(sim.stats().events_dispatched, 1000);
+        // The clock rests at the last dispatched event (999 timer laps of
+        // 1 ms after the start event), not at SimTime::MAX, so raising the
+        // budget resumes with an intact clock.
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(999));
+        sim.set_event_budget(1500);
+        let err = sim.run_to_completion();
+        assert!(matches!(err, Err(SimError::EventBudgetExceeded { max_events: 1500 })));
+        assert_eq!(sim.stats().events_dispatched, 1500);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(1499));
+    }
+
+    #[test]
+    fn event_budget_allows_finite_queues() {
+        let mut sim = two_host_sim();
+        sim.set_event_budget(1_000_000);
+        sim.run_to_completion().expect("finite queue drains under budget");
+        let echo: &Echo = sim.host(B).unwrap();
+        assert_eq!(echo.received, 1);
+    }
+
+    #[test]
+    fn run_for_stops_at_exhausted_budget_without_error() {
+        let mut sim = Simulator::new(8);
+        sim.add_host(A, OsProfile::linux(), Box::new(Metronome)).unwrap();
+        sim.set_event_budget(10);
+        sim.run_for(SimDuration::from_secs(3600));
+        assert_eq!(sim.stats().events_dispatched, 10);
+        assert!(sim.event_budget_exhausted());
+        // Time still advances to the deadline, so callers that poll a
+        // predicate while stepping `now` towards their own deadline
+        // (Scenario::run_until_condition) terminate rather than spin.
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(3600));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(3601));
+    }
+
+    #[test]
+    fn ipid_per_dst_cache_is_bounded_with_lru_eviction() {
+        let mut profile = OsProfile::linux();
+        assert!(matches!(profile.ipid, IpidMode::PerDestination { .. }));
+        profile.ipid_cache_cap = 8;
+        let mut stack = NetStack::new(profile);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Spray 100 distinct destinations: the table must stay at the cap.
+        for i in 0..100u32 {
+            let dst = Ipv4Addr::from(0x0A00_0000 + i);
+            stack.next_ipid(dst, &mut rng);
+            assert!(stack.ipid_tracked_destinations() <= 8);
+        }
+        assert_eq!(stack.ipid_tracked_destinations(), 8);
+        assert_eq!(stack.ipid_evictions(), 92);
+        // LRU, not FIFO: keep destination 0 warm while spraying, and its
+        // counter must survive (still incrementing from where it left off).
+        let mut profile = OsProfile::linux();
+        profile.ipid_cache_cap = 4;
+        let mut stack = NetStack::new(profile);
+        let warm = Ipv4Addr::from(0x0A00_0000u32);
+        let first = stack.next_ipid(warm, &mut rng);
+        for i in 1..50u32 {
+            stack.next_ipid(Ipv4Addr::from(0x0A00_0000 + i), &mut rng);
+            let again = stack.next_ipid(warm, &mut rng);
+            assert_eq!(
+                again,
+                first.wrapping_add(i as u16),
+                "warm destination must never be evicted"
+            );
+        }
+    }
+
+    #[test]
+    fn ipid_evictions_surface_in_sim_stats() {
+        struct Sprayer;
+        impl Host for Sprayer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..20u32 {
+                    ctx.send_udp(Ipv4Addr::from(0xC633_6400 + i), 1, 2, Bytes::from_static(b"x"));
+                }
+            }
+        }
+        let mut profile = OsProfile::linux();
+        profile.ipid_cache_cap = 4;
+        let mut sim = Simulator::new(11);
+        sim.add_host(A, profile, Box::new(Sprayer)).unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.stats().ipid_evictions, 16, "20 destinations past a cap of 4");
     }
 }

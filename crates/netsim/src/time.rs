@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_secs(3);
 /// assert_eq!(t.as_secs_f64(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -28,7 +30,9 @@ pub struct SimTime(u64);
 ///
 /// assert_eq!(SimDuration::from_millis(1500), SimDuration::from_micros(1_500_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -163,8 +167,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
 
     fn sub(self, rhs: SimTime) -> SimDuration {
-        self.checked_since(rhs)
-            .expect("SimTime subtraction underflow: rhs is later than self")
+        self.checked_since(rhs).expect("SimTime subtraction underflow: rhs is later than self")
     }
 }
 
@@ -180,11 +183,7 @@ impl Sub for SimDuration {
     type Output = SimDuration;
 
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimDuration subtraction underflow"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow"))
     }
 }
 

@@ -151,10 +151,7 @@ mod tests {
         let mut bad = wire.to_vec();
         let last = bad.len() - 1;
         bad[last] ^= 0x20;
-        assert!(matches!(
-            UdpDatagram::decode(&bad, SRC, DST),
-            Err(WireError::BadChecksum { .. })
-        ));
+        assert!(matches!(UdpDatagram::decode(&bad, SRC, DST), Err(WireError::BadChecksum { .. })));
     }
 
     #[test]

@@ -367,11 +367,7 @@ impl NtpClient {
     /// Time of the first clock step beyond 1 s, if any — the experiments'
     /// "attack landed" marker.
     pub fn first_large_step(&self) -> Option<(SimTime, f64)> {
-        self.clock
-            .adjustments
-            .iter()
-            .find(|(_, off)| off.abs() > 1.0)
-            .copied()
+        self.clock.adjustments.iter().find(|(_, off)| off.abs() > 1.0).copied()
     }
 
     fn issue_dns(&mut self, ctx: &mut Ctx<'_>) {
@@ -430,10 +426,7 @@ impl NtpClient {
         }
         self.stats.assocs_lost += lost;
         if self.system_peer.is_some()
-            && !self
-                .assocs
-                .iter()
-                .any(|a| !a.dead && Some(a.addr) == self.system_peer)
+            && !self.assocs.iter().any(|a| !a.dead && Some(a.addr) == self.system_peer)
         {
             self.system_peer = None;
         }
@@ -740,11 +733,7 @@ mod tests {
             sim.run_for(SimDuration::from_mins(10));
             let c: &NtpClient = sim.host(CLIENT).unwrap();
             let off = c.offset_secs(sim.now());
-            assert!(
-                (off + 500.0).abs() < 1.0,
-                "{}: expected -500 s shift, got {off}",
-                kind.name()
-            );
+            assert!((off + 500.0).abs() < 1.0, "{}: expected -500 s shift, got {off}", kind.name());
         }
     }
 
@@ -850,7 +839,12 @@ mod tests {
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
                 let t = NtpTimestamp::at_sim_time(ctx.now());
-                ctx.send_udp(self.victim, NTP_PORT, NTP_PORT, NtpPacket::client_request(t).encode());
+                ctx.send_udp(
+                    self.victim,
+                    NTP_PORT,
+                    NTP_PORT,
+                    NtpPacket::client_request(t).encode(),
+                );
             }
             fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, d: &Datagram) {
                 if let Ok(resp) = NtpPacket::decode(&d.payload) {

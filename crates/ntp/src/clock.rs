@@ -73,7 +73,12 @@ impl SystemClock {
     /// Applies a measured offset (server − client): step if beyond the step
     /// threshold, slew otherwise, refuse if beyond the panic threshold and
     /// `at_boot` is false.
-    pub fn apply_offset(&mut self, now: SimTime, offset: NtpDuration, at_boot: bool) -> ClockAdjustment {
+    pub fn apply_offset(
+        &mut self,
+        now: SimTime,
+        offset: NtpDuration,
+        at_boot: bool,
+    ) -> ClockAdjustment {
         if !at_boot {
             if let Some(panic) = self.panic_threshold {
                 if offset.abs() > panic {

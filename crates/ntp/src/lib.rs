@@ -34,18 +34,10 @@ pub mod timestamp;
 
 /// Commonly used types.
 pub mod prelude {
-    pub use crate::client::{
-        Association, ClientKind, ClientProfile, ClientStats, NtpClient,
-    };
+    pub use crate::client::{Association, ClientKind, ClientProfile, ClientStats, NtpClient};
     pub use crate::clock::{ClockAdjustment, SystemClock};
-    pub use crate::packet::{
-        peek_mode, ControlMessage, NtpMode, NtpPacket, KOD_RATE, NTP_PORT,
-    };
+    pub use crate::packet::{peek_mode, ControlMessage, NtpMode, NtpPacket, KOD_RATE, NTP_PORT};
     pub use crate::select::{default_window, select, OffsetSample, Selection};
-    pub use crate::server::{
-        stratum2_with_upstream, NtpServer, RateLimitConfig, ServerStats,
-    };
-    pub use crate::timestamp::{
-        offset_and_delay, NtpDuration, NtpTimestamp, SIM_NTP_EPOCH,
-    };
+    pub use crate::server::{stratum2_with_upstream, NtpServer, RateLimitConfig, ServerStats};
+    pub use crate::timestamp::{offset_and_delay, NtpDuration, NtpTimestamp, SIM_NTP_EPOCH};
 }

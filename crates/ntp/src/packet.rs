@@ -177,9 +177,7 @@ impl NtpPacket {
         if data.len() < 48 {
             return Err(WireError::Truncated { needed: 48, got: data.len() });
         }
-        let u64_at = |i: usize| {
-            u64::from_be_bytes(data[i..i + 8].try_into().expect("slice of 8"))
-        };
+        let u64_at = |i: usize| u64::from_be_bytes(data[i..i + 8].try_into().expect("slice of 8"));
         Ok(NtpPacket {
             leap: data[0] >> 6,
             version: (data[0] >> 3) & 0x7,

@@ -59,8 +59,8 @@ pub fn select(samples: &[OffsetSample], window: NtpDuration) -> Option<Selection
         return None; // no strict majority
     }
     let cluster = &sorted[start..start + len];
-    let mean_nanos: i64 =
-        (cluster.iter().map(|s| i128::from(s.offset.as_nanos())).sum::<i128>() / len as i128) as i64;
+    let mean_nanos: i64 = (cluster.iter().map(|s| i128::from(s.offset.as_nanos())).sum::<i128>()
+        / len as i128) as i64;
     Some(Selection {
         offset: NtpDuration::from_nanos(mean_nanos),
         survivors: cluster.iter().map(|s| s.server).collect(),

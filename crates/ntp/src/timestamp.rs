@@ -132,7 +132,10 @@ impl Add<NtpDuration> for NtpTimestamp {
     fn add(self, rhs: NtpDuration) -> NtpTimestamp {
         let total = self.total_nanos() + i128::from(rhs.nanos);
         let total = total.max(0) as u128;
-        NtpTimestamp::from_secs_nanos((total / 1_000_000_000) as u64, (total % 1_000_000_000) as u32)
+        NtpTimestamp::from_secs_nanos(
+            (total / 1_000_000_000) as u64,
+            (total % 1_000_000_000) as u32,
+        )
     }
 }
 

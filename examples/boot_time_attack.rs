@@ -9,16 +9,17 @@ use timeshift::prelude::*;
 
 fn main() {
     println!("== Table I (live): boot-time attack vs every client model ==\n");
-    println!("{:<12} {:>10} {:>12} {:>16}", "client", "pool-share", "boot-attack", "observed shift");
+    println!(
+        "{:<12} {:>10} {:>12} {:>16}",
+        "client", "pool-share", "boot-attack", "observed shift"
+    );
     for kind in ClientKind::all() {
         let outcome = run_boot_time_attack(
             ScenarioConfig { seed: 42 ^ kind as u64, ..ScenarioConfig::default() },
             kind,
         );
-        let share = kind
-            .pool_share()
-            .map(|s| format!("{:.1}%", s * 100.0))
-            .unwrap_or_else(|| "n/l".into());
+        let share =
+            kind.pool_share().map(|s| format!("{:.1}%", s * 100.0)).unwrap_or_else(|| "n/l".into());
         println!(
             "{:<12} {share:>10} {:>12} {:>14.1}s",
             kind.name(),

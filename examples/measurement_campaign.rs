@@ -14,7 +14,7 @@ fn main() {
     let scale = if paper { Scale::paper() } else { Scale::quick() };
     println!("== timeshift measurement campaign (scale: {scale:?}) ==\n");
 
-    println!("{}", experiments::format_table1(&experiments::table1(scale.seed)));
+    println!("{}", experiments::format_table1(&experiments::table1(scale.seed, scale.workers)));
 
     println!("{}", experiments::format_table3(&experiments::table3()));
 

@@ -11,7 +11,7 @@ use timeshift::prelude::*;
 
 fn main() {
     println!("== Table II (live): run-time attack durations ==\n");
-    let rows = experiments::table2(7);
+    let rows = experiments::table2(7, Scale::quick().workers);
     print!("{}", experiments::format_table2(&rows));
     println!("\nShape checks (the reproduction target):");
     let p2 = rows[0].duration_mins.expect("ntpd P2");

@@ -29,8 +29,9 @@ fn chronos_survives_when_poisoning_lands_after_lookup_12() {
     for n in [11u32, 12] {
         let mut generator = PoolGenerator::new(24, PoolSanity::none());
         for round in 0..n {
-            let honest: Vec<std::net::Ipv4Addr> =
-                (0..4).map(|i| std::net::Ipv4Addr::new(192, 0, (round + 1) as u8, i as u8)).collect();
+            let honest: Vec<std::net::Ipv4Addr> = (0..4)
+                .map(|i| std::net::Ipv4Addr::new(192, 0, (round + 1) as u8, i as u8))
+                .collect();
             generator.absorb(&honest, 150);
         }
         let malicious: Vec<std::net::Ipv4Addr> =
@@ -39,14 +40,9 @@ fn chronos_survives_when_poisoning_lands_after_lookup_12() {
         // All later lookups are served from cache: the pool is frozen.
         let fraction = generator.fraction_in(|a| a.octets()[0] == 0x42);
         let expected_success = n <= 11;
-        assert_eq!(
-            fraction >= 2.0 / 3.0,
-            expected_success,
-            "N={n}: fraction {fraction}"
-        );
+        assert_eq!(fraction >= 2.0 / 3.0, expected_success, "N={n}: fraction {fraction}");
         // Panic-mode decision over the frozen pool.
-        let mut offsets: Vec<NtpDuration> =
-            vec![NtpDuration::from_secs_f64(0.0); (4 * n) as usize];
+        let mut offsets: Vec<NtpDuration> = vec![NtpDuration::from_secs_f64(0.0); (4 * n) as usize];
         offsets.extend(vec![NtpDuration::from_secs_f64(-500.0); 89]);
         let decision = evaluate_panic(&offsets, &ChronosConfig::default());
         match (expected_success, decision) {

@@ -12,11 +12,7 @@ fn signed_validating_scenario(seed: u64) -> Scenario {
     anchors.add("pool.ntp.org".parse().expect("name"), key);
     let mut config = ScenarioConfig {
         seed,
-        resolver: ResolverConfig {
-            validating: true,
-            anchors,
-            ..ResolverConfig::default()
-        },
+        resolver: ResolverConfig { validating: true, anchors, ..ResolverConfig::default() },
         ..ScenarioConfig::default()
     };
     config.resolver_open = true;
@@ -42,8 +38,7 @@ fn dnssec_validation_blocks_the_redirected_answer() {
     for &s in &pool_servers {
         sim.add_host(s, OsProfile::linux(), Box::new(NtpServer::honest())).unwrap();
     }
-    let zone =
-        pool_zone(pool_servers, 23, std::net::Ipv4Addr::new(198, 51, 100, 1)).with_key(key);
+    let zone = pool_zone(pool_servers, 23, std::net::Ipv4Addr::new(198, 51, 100, 1)).with_key(key);
     let ns_list = spawn_zone_nameservers(&mut sim, &zone, OsProfile::nameserver(548));
     let mut anchors = TrustAnchors::new();
     anchors.add(pool_name.clone(), key);
@@ -141,11 +136,10 @@ fn fragment_filtering_resolver_blocks_the_primitive() {
     // that the default attack DOES land, so the filtering comparison in
     // attack::poisoner::tests is meaningful.
     scenario.launch_poisoner();
-    let landed = scenario.run_until_condition(
-        SimDuration::from_secs(30),
-        SimDuration::from_mins(30),
-        |s| s.poisoner().map(OffPathPoisoner::glue_poisoned).unwrap_or(false),
-    );
+    let landed =
+        scenario.run_until_condition(SimDuration::from_secs(30), SimDuration::from_mins(30), |s| {
+            s.poisoner().map(OffPathPoisoner::glue_poisoned).unwrap_or(false)
+        });
     assert!(landed.is_some(), "baseline (no filtering) must be poisonable");
 }
 
@@ -214,7 +208,12 @@ fn classic_spoofing_without_fragmentation_needs_the_entropy() {
     )
     .unwrap();
     // Trigger a real resolution mid-flood.
-    let addrs = lookup_once(&mut sim, "10.0.0.100".parse().unwrap(), resolver_addr, &"pool.ntp.org".parse().unwrap());
+    let addrs = lookup_once(
+        &mut sim,
+        "10.0.0.100".parse().unwrap(),
+        resolver_addr,
+        &"pool.ntp.org".parse().unwrap(),
+    );
     sim.run_for(SimDuration::from_mins(2));
     assert!(!addrs.contains(&"66.66.6.6".parse().unwrap()));
     let resolver: &Resolver = sim.host(resolver_addr).unwrap();

@@ -1,0 +1,88 @@
+//! Determinism regression suite: the engine is a seeded, single-threaded
+//! event loop and the trial runner only ever parallelises *independent*
+//! simulations — so identical seeds must give byte-identical results, both
+//! run-to-run and across worker counts.
+//!
+//! "Byte-identical" is asserted on the Debug renderings, which cover every
+//! field (including float bit patterns as printed).
+
+use timeshift::prelude::*;
+
+/// Two runs, same seed: byte-identical `SimStats` and `AttackOutcome`.
+#[test]
+fn same_seed_same_stats_and_outcome() {
+    let outcome = |seed| {
+        let config = ScenarioConfig { seed, ..ScenarioConfig::default() };
+        let o = run_boot_time_attack(config, ClientKind::SystemdTimesyncd);
+        format!("{o:?}")
+    };
+    assert_eq!(outcome(41), outcome(41));
+
+    let stats = |seed| {
+        let config = ScenarioConfig { seed, ..ScenarioConfig::default() };
+        let mut scenario = Scenario::build(config);
+        scenario.launch_poisoner();
+        scenario.sim.run_for(SimDuration::from_mins(5));
+        format!("{:?}", scenario.sim.stats())
+    };
+    assert_eq!(stats(7), stats(7));
+}
+
+/// The parallel trial runner must not leak scheduling into results:
+/// Table I with 1 worker and with 8 workers, same master seed, must be
+/// byte-identical.
+#[test]
+fn table1_is_worker_count_independent() {
+    let sequential = format!("{:?}", experiments::table1(2020, 1));
+    let parallel = format!("{:?}", experiments::table1(2020, 8));
+    assert_eq!(sequential, parallel);
+}
+
+/// Same for Table II (the long-running run-time attacks).
+#[test]
+fn table2_is_worker_count_independent() {
+    let sequential = format!("{:?}", experiments::table2(2020, 1));
+    let parallel = format!("{:?}", experiments::table2(2020, 8));
+    assert_eq!(sequential, parallel);
+}
+
+/// The Fig. 6/7 survey sweep: per-resolver seeds are a function of the
+/// population index, so the aggregate is identical for any worker count.
+#[test]
+fn resolver_survey_is_worker_count_independent() {
+    let run = |workers| {
+        let scale = Scale { resolvers: 120, workers, ..Scale::quick() };
+        format!("{:?}", experiments::resolver_survey(scale))
+    };
+    assert_eq!(run(1), run(8));
+}
+
+/// The measure-crate scans (Fig. 5, Table V, §VII-A) chunk statically but
+/// seed every item by its population index — also worker-count
+/// independent, so the whole measurement campaign is.
+#[test]
+fn measure_scans_are_worker_count_independent() {
+    let run = |workers| {
+        let scale =
+            Scale { domains: 150, ad_fraction: 0.01, pool_servers: 90, workers, ..Scale::quick() };
+        format!(
+            "{:?}\n{:?}\n{:?}",
+            experiments::fig5(scale),
+            experiments::table5(scale),
+            experiments::ratelimit_scan(scale)
+        )
+    };
+    assert_eq!(run(1), run(7));
+}
+
+/// Raw runner sweep over seeds: order and values survive parallelism.
+#[test]
+fn seeded_boot_sweep_merges_in_seed_order() {
+    let attack = |seed: u64| {
+        let config = ScenarioConfig { seed, ..ScenarioConfig::default() };
+        format!("{:?}", run_boot_time_attack(config, ClientKind::Ntpdate))
+    };
+    let sequential = TrialRunner::new(1).run_seeded(99, 6, attack);
+    let parallel = TrialRunner::new(8).run_seeded(99, 6, attack);
+    assert_eq!(sequential, parallel);
+}

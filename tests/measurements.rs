@@ -101,7 +101,14 @@ fn shared_scan_triggerable_fraction() {
 
 #[test]
 fn all_formatters_produce_output() {
-    let scale = Scale { resolvers: 60, domains: 120, ad_fraction: 0.01, shared: 80, pool_servers: 60, ..quick() };
+    let scale = Scale {
+        resolvers: 60,
+        domains: 120,
+        ad_fraction: 0.01,
+        shared: 80,
+        pool_servers: 60,
+        ..quick()
+    };
     let survey = experiments::resolver_survey(scale);
     assert!(experiments::format_table4(&survey).contains("TABLE IV"));
     assert!(experiments::format_fig6(&survey).contains("FIG. 6"));
@@ -110,8 +117,6 @@ fn all_formatters_produce_output() {
     assert!(experiments::format_fig5(&experiments::fig5(scale)).contains("FIG. 5"));
     assert!(experiments::format_ratelimit(&experiments::ratelimit_scan(scale)).contains("§VII-A"));
     assert!(experiments::format_shared(&experiments::shared_scan(scale)).contains("§VIII-B3"));
-    assert!(
-        experiments::format_chronos_bound(&experiments::chronos_bound()).contains("N <= 11")
-    );
+    assert!(experiments::format_chronos_bound(&experiments::chronos_bound()).contains("N <= 11"));
     assert!(experiments::boot_budget().to_string().contains("5 fragments"));
 }

@@ -16,8 +16,11 @@ fn p2() -> RuntimeScenario {
 
 #[test]
 fn ntpd_p1_shifts_within_tens_of_minutes() {
-    let outcome = run_runtime_attack(ScenarioConfig { seed: 1, ..ScenarioConfig::default() },
-        ClientKind::Ntpd, p1());
+    let outcome = run_runtime_attack(
+        ScenarioConfig { seed: 1, ..ScenarioConfig::default() },
+        ClientKind::Ntpd,
+        p1(),
+    );
     assert!(outcome.success, "{outcome:?}");
     let mins = outcome.duration_secs.expect("duration") / 60.0;
     assert!((2.0..60.0).contains(&mins), "P1 duration {mins} min (paper: 17)");
@@ -102,10 +105,7 @@ fn rate_limiting_is_the_lever_without_it_p1_fails() {
     scenario.launch_runtime_attacker(victim, p1());
     scenario.sim.run_for(SimDuration::from_mins(90));
     let victim_host = scenario.victim().expect("victim");
-    let stepped = victim_host
-        .first_large_step()
-        .map(|(t, _)| t > attack_start)
-        .unwrap_or(false);
+    let stepped = victim_host.first_large_step().map(|(t, _)| t > attack_start).unwrap_or(false);
     assert!(!stepped, "without rate limiting the associations survive");
     assert!(victim_host.offset_secs(scenario.sim.now()).abs() < 1.0);
 }

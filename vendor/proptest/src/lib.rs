@@ -75,9 +75,9 @@ macro_rules! impl_strategy_tuple {
     };
 }
 
-impl_strategy_tuple!(A/0, B/1);
-impl_strategy_tuple!(A/0, B/1, C/2);
-impl_strategy_tuple!(A/0, B/1, C/2, D/3);
+impl_strategy_tuple!(A / 0, B / 1);
+impl_strategy_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
 
 /// String strategies from pattern literals: supports `[a-zx]{m,n}`-style
 /// single-class-with-repetition patterns and plain literals.
@@ -183,10 +183,7 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        let cases = std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(64);
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
         ProptestConfig { cases }
     }
 }
@@ -204,9 +201,9 @@ where
 {
     use rand::SeedableRng;
     // Fixed base seed: deterministic runs, distinct streams per property.
-    let base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-    });
+    let base = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
     for i in 0..config.cases {
         let mut rng = TestRng::seed_from_u64(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         if let Err(TestCaseError(msg)) = case(&mut rng) {

@@ -37,17 +37,12 @@ fn empty_impl(input: TokenStream, trait_name: &str, extra_params: &[&str]) -> To
     } else {
         format!("<{}>", extra_params.join(", "))
     };
-    let type_generics = if type_args.is_empty() {
-        String::new()
-    } else {
-        format!("<{}>", type_args.join(", "))
-    };
+    let type_generics =
+        if type_args.is_empty() { String::new() } else { format!("<{}>", type_args.join(", ")) };
 
-    format!(
-        "impl{impl_generics} ::serde::{trait_name}{trait_args} for {name}{type_generics} {{}}"
-    )
-    .parse()
-    .expect("generated impl parses")
+    format!("impl{impl_generics} ::serde::{trait_name}{trait_args} for {name}{type_generics} {{}}")
+        .parse()
+        .expect("generated impl parses")
 }
 
 struct Param {
