@@ -235,7 +235,7 @@ mod tests {
         let victim_dns = victim_resp.encode().unwrap();
         let udp = UdpDatagram::new(53, 45_000, victim_dns.clone()).encode(NS, RESOLVER).unwrap();
         let full = Ipv4Packet::udp(NS, RESOLVER, 0x0F00, udp);
-        let frags = fragment(&full, 548).unwrap();
+        let frags = fragment(full.clone(), 548).unwrap();
         assert_eq!(frags.len(), 2);
 
         // Attacker forges from its own (different) observation.
@@ -244,9 +244,9 @@ mod tests {
 
         // Resolver-side reassembly: spoofed fragment is planted first.
         let mut cache = DefragCache::new(DefragConfig::default());
-        assert!(cache.insert(SimTime::ZERO, &spoofed).is_none());
+        assert!(cache.insert(SimTime::ZERO, spoofed.clone()).is_none());
         let reassembled = cache
-            .insert(SimTime::from_nanos(1), &frags[0])
+            .insert(SimTime::from_nanos(1), frags[0].clone())
             .expect("first real fragment completes with planted tail");
 
         // (a) UDP checksum verifies despite the tampering.
@@ -277,15 +277,15 @@ mod tests {
             srv.answer(&victim_query, &mut SmallRng::seed_from_u64(7)).encode().unwrap();
         let udp = UdpDatagram::new(53, 45000, victim_dns).encode(NS, RESOLVER).unwrap();
         let full = Ipv4Packet::udp(NS, RESOLVER, 0x0F00, udp);
-        let frags = fragment(&full, 548).unwrap();
+        let frags = fragment(full.clone(), 548).unwrap();
 
         let tail = forge_tail(&dns_bytes, 548, ATTACKER_NS).unwrap();
         let spoofed = tail.fragment(NS, RESOLVER, 0x0E00); // mispredicted
         let mut cache = DefragCache::new(DefragConfig::default());
-        cache.insert(SimTime::ZERO, &spoofed);
-        assert!(cache.insert(SimTime::from_nanos(1), &frags[0]).is_none());
+        cache.insert(SimTime::ZERO, spoofed.clone());
+        assert!(cache.insert(SimTime::from_nanos(1), frags[0].clone()).is_none());
         // The real second fragment completes it cleanly instead.
-        let reassembled = cache.insert(SimTime::from_nanos(2), &frags[1]).unwrap();
+        let reassembled = cache.insert(SimTime::from_nanos(2), frags[1].clone()).unwrap();
         let dgram = UdpDatagram::decode(&reassembled.payload, NS, RESOLVER).unwrap();
         let msg = Message::decode(&dgram.payload).unwrap();
         assert!(msg.additionals.iter().filter_map(|r| r.as_a()).all(|a| a != ATTACKER_NS));

@@ -53,7 +53,7 @@ mod tests {
         // Deliver the forged ICMP to the nameserver's stack.
         let msg = forge_frag_needed(NS, RESOLVER, FORCED_MTU);
         let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
-        let out = stack.receive(SimTime::ZERO, &pkt);
+        let out = stack.receive(SimTime::ZERO, pkt);
         assert!(out.is_some(), "ICMP must reach the host layer");
         assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), FORCED_MTU);
         // A large DNS response towards the resolver now fragments.
@@ -68,7 +68,7 @@ mod tests {
         let mut stack = NetStack::new(OsProfile::nameserver(548));
         let msg = forge_frag_needed(NS, RESOLVER, 68);
         let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
-        stack.receive(SimTime::ZERO, &pkt);
+        stack.receive(SimTime::ZERO, pkt);
         assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), 548);
     }
 
@@ -79,7 +79,7 @@ mod tests {
         let mut stack = NetStack::new(OsProfile::nameserver(548));
         let msg = forge_frag_needed("203.0.113.9".parse().unwrap(), RESOLVER, FORCED_MTU);
         let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
-        stack.receive(SimTime::ZERO, &pkt);
+        stack.receive(SimTime::ZERO, pkt);
         assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), 1500);
     }
 
@@ -88,7 +88,7 @@ mod tests {
         let mut stack = NetStack::new(OsProfile::nameserver_no_pmtud());
         let msg = forge_frag_needed(NS, RESOLVER, FORCED_MTU);
         let pkt = Ipv4Packet::icmp("203.0.113.66".parse().unwrap(), NS, 9, msg.encode());
-        stack.receive(SimTime::ZERO, &pkt);
+        stack.receive(SimTime::ZERO, pkt);
         assert_eq!(stack.mtu_towards(SimTime::ZERO, RESOLVER), 1500);
     }
 }

@@ -1,10 +1,14 @@
 //! engine: raw event-loop throughput (events/sec) and defrag-cache expiry.
 //!
-//! This is the regression guard for the slab-indexed dispatch path: hosts
-//! and stacks are addressed by dense `HostId`, callbacks write into the
-//! simulator's reusable scratch buffer, and `DefragCache::expire` pops a
-//! time-ordered ring. The event budget bounds each iteration to an exact
-//! event count, so the measured time is time-per-N-events.
+//! This is the regression guard for the engine's hot paths: slab-indexed
+//! dispatch, the timing-wheel event queue, the zero-clone packet delivery
+//! path, and `DefragCache::expire`'s time-ordered ring. The event budget
+//! bounds each iteration to an exact event count, so the measured time is
+//! time-per-N-events.
+//!
+//! In `--test` smoke mode (CI) the headline numbers are also written to
+//! `BENCH_engine.json` at the workspace root — the per-PR perf trajectory
+//! artifact.
 
 use std::net::Ipv4Addr;
 use std::time::Instant;
@@ -46,11 +50,11 @@ fn ring_sim(seed: u64) -> Simulator {
 }
 
 /// One full iteration: dispatch exactly [`EVENTS_PER_ITER`] events.
-fn drive(seed: u64) -> u64 {
+fn drive(seed: u64) -> SimStats {
     let mut sim = ring_sim(seed);
     // The budget (not the deadline) terminates the run.
     sim.run_for(SimDuration::from_secs(86_400));
-    sim.stats().events_dispatched
+    sim.stats()
 }
 
 fn defrag_churn(rounds: u64) -> usize {
@@ -59,7 +63,7 @@ fn defrag_churn(rounds: u64) -> usize {
     let src = Ipv4Addr::new(10, 0, 0, 1);
     let dst = Ipv4Addr::new(10, 0, 0, 2);
     let base = Ipv4Packet::udp(src, dst, 0, bytes::Bytes::from(vec![0xAB; 2000]));
-    let template = fragment(&base, 1028).expect("fragments")[1].clone();
+    let template = fragment(base, 1028).expect("fragments")[1].clone();
     let mut pending_peak = 0;
     for round in 0..rounds {
         // One planted fragment per second: every insert past the timeout
@@ -67,26 +71,72 @@ fn defrag_churn(rounds: u64) -> usize {
         let mut f = template.clone();
         f.id = (round % 0x1_0000) as u16;
         let now = SimTime::ZERO + SimDuration::from_secs(round);
-        cache.insert(now, &f);
+        cache.insert(now, f);
         pending_peak = pending_peak.max(cache.pending_reassemblies());
     }
     pending_peak
 }
 
+/// Writes the perf-trajectory artifact to the workspace root. Failure to
+/// write (e.g. a read-only checkout) only warns: the bench result itself
+/// still stands.
+fn write_bench_json(stats: &SimStats, elapsed_secs: f64, rate: f64, defrag_peak: usize) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"events_dispatched\": {},\n  \
+         \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.0},\n  \
+         \"peak_queue_depth\": {},\n  \"ipid_evictions\": {},\n  \
+         \"defrag_spray_rounds\": 30000,\n  \"defrag_peak_pending\": {}\n}}\n",
+        stats.events_dispatched,
+        elapsed_secs,
+        rate,
+        stats.peak_queue_depth,
+        stats.ipid_evictions,
+        defrag_peak,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 fn bench(c: &mut Criterion) {
-    // Headline number once per run: end-to-end events/sec of the loop.
-    let start = Instant::now();
-    let dispatched = drive(1);
-    let rate = dispatched as f64 / start.elapsed().as_secs_f64();
+    // Headline numbers once per run: end-to-end events/sec of the loop,
+    // peak event-queue depth, and the defrag cache's churn behaviour.
+    // Best of three drives of the SAME seed (identical stats every time,
+    // minimum elapsed): the recorded trajectory number reflects the
+    // engine, not scheduler noise or seed luck.
+    let (mut stats, mut elapsed) = {
+        let start = Instant::now();
+        (drive(1), start.elapsed())
+    };
+    for _ in 0..2 {
+        let start = Instant::now();
+        let s = drive(1);
+        let e = start.elapsed();
+        if e < elapsed {
+            (stats, elapsed) = (s, e);
+        }
+    }
+    let rate = stats.events_dispatched as f64 / elapsed.as_secs_f64();
+    let defrag_peak = defrag_churn(30_000);
     bench::show(
         "Engine",
         &format!(
-            "slab dispatch: {dispatched} events in {:?} ≈ {:.2} M events/sec\n\
-             (ring of {RING_HOSTS} hosts, 5 ms links, budget-bounded)",
-            start.elapsed(),
-            rate / 1e6
+            "wheel dispatch: {} events in {:?} ≈ {:.2} M events/sec, peak queue {}\n\
+             (ring of {RING_HOSTS} hosts, 5 ms links, budget-bounded); \
+             defrag spray peak pending {}",
+            stats.events_dispatched,
+            elapsed,
+            rate / 1e6,
+            stats.peak_queue_depth,
+            defrag_peak
         ),
     );
+    // Smoke mode is the per-PR CI entry point: record the trajectory.
+    if std::env::args().skip(1).any(|a| a == "--test") {
+        write_bench_json(&stats, elapsed.as_secs_f64(), rate, defrag_peak);
+    }
 
     c.bench_function("engine/dispatch_100k_events", |b| {
         let mut seed = 0;

@@ -226,15 +226,12 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
 
 /// Runs the open-resolver survey once; Table IV, Fig. 6 and Fig. 7 all
 /// read from it. Each resolver is probed in its own mini-simulation with a
-/// seed derived from its population index, fanned across the trial runner:
-/// the sweep is bit-identical for any worker count.
+/// seed derived from its population index, fanned across the trial runner
+/// inside [`measure::snoop::run_survey`]: the sweep is bit-identical for
+/// any worker count.
 pub fn resolver_survey(scale: Scale) -> SurveyResult {
     let population = open_resolvers(scale.resolvers, scale.seed);
-    let seed = scale.seed ^ 0xA;
-    let outcomes = TrialRunner::new(scale.workers).run(&population, |idx, spec| {
-        measure::snoop::scan_resolver(spec, measure::scan_seed(seed, idx))
-    });
-    measure::snoop::aggregate_outcomes(population.len(), &outcomes)
+    measure::snoop::run_survey(&population, scale.seed ^ 0xA, scale.workers)
 }
 
 /// Formats Table IV from a survey.

@@ -1,147 +1,11 @@
-//! The parallel Monte-Carlo trial driver.
+//! The parallel Monte-Carlo trial driver — re-exported from the [`runner`]
+//! crate, which sits *below* `measure` so the §VII–§VIII scan drivers and
+//! the table/figure experiments here share one parallel code path and one
+//! per-index seed scheme.
 //!
-//! Every paper artifact (Tables I–II, the Fig. 6/7 survey sweeps) is a
-//! sweep of *independent* trials: each trial builds its own seeded
-//! [`Simulator`](netsim::sim::Simulator), runs it to an outcome, and the
-//! outcomes are aggregated. [`TrialRunner`] fans those trials across
-//! `workers` scoped threads and merges the results **in item order**, so
-//! the output is byte-identical to the sequential path for any worker
-//! count: parallelism changes only wall-clock time, never results.
-//!
-//! Determinism contract: a trial's seed must be a pure function of the
-//! master seed and the item index (see [`trial_seed`]) — never of which
-//! worker picks the item up or when.
+//! [`TrialRunner`] fans independent trials across worker threads and
+//! merges results in item order: sweeps are byte-identical to the
+//! sequential path for any worker count. See the `runner` crate docs for
+//! the determinism contract.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use crossbeam::thread;
-
-/// Derives the per-trial seed for item `idx` under `master` — the
-/// workspace's one per-index seed scheme ([`measure::scan_seed`]; full
-/// avalanche mixing happens inside `SmallRng::seed_from_u64`).
-pub fn trial_seed(master: u64, idx: usize) -> u64 {
-    measure::scan_seed(master, idx)
-}
-
-/// Fans independent trials across a fixed number of worker threads.
-#[derive(Debug, Clone, Copy)]
-pub struct TrialRunner {
-    workers: usize,
-}
-
-impl TrialRunner {
-    /// A runner using `workers` threads (0 is clamped to 1; 1 runs inline
-    /// on the calling thread with no spawn at all).
-    pub fn new(workers: usize) -> Self {
-        TrialRunner { workers: workers.max(1) }
-    }
-
-    /// The configured worker count.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Runs `trial(index, &item)` for every item and returns the results in
-    /// item order, regardless of which worker ran what when.
-    ///
-    /// Work is distributed dynamically (an atomic cursor over `items`), so
-    /// uneven trial durations — a 17-minute and an 84-minute attack in the
-    /// same sweep — still saturate all workers.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from any trial after the scope joins.
-    pub fn run<I, T, F>(&self, items: &[I], trial: F) -> Vec<T>
-    where
-        I: Sync,
-        T: Send,
-        F: Fn(usize, &I) -> T + Sync,
-    {
-        let workers = self.workers.min(items.len());
-        if workers <= 1 {
-            return items.iter().enumerate().map(|(i, item)| trial(i, item)).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let trial = &trial;
-        let per_worker: Vec<Vec<(usize, T)>> = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|_| {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            out.push((i, trial(i, item)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("trial worker panicked")).collect()
-        })
-        .expect("trial scope");
-        // Deterministic merge: slot every result at its item index.
-        let mut results: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
-        for (i, value) in per_worker.into_iter().flatten() {
-            results[i] = Some(value);
-        }
-        results.into_iter().map(|r| r.expect("every item ran exactly once")).collect()
-    }
-
-    /// Runs `trials` seeded trials: trial `i` receives
-    /// [`trial_seed`]`(master_seed, i)`. Results come back in trial order.
-    pub fn run_seeded<T, F>(&self, master_seed: u64, trials: usize, f: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(u64) -> T + Sync,
-    {
-        let seeds: Vec<u64> = (0..trials).map(|i| trial_seed(master_seed, i)).collect();
-        self.run(&seeds, |_, &seed| f(seed))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_come_back_in_item_order() {
-        let items: Vec<usize> = (0..97).collect();
-        let out = TrialRunner::new(8).run(&items, |idx, &item| {
-            assert_eq!(idx, item);
-            item * 3
-        });
-        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_matches_sequential_bit_for_bit() {
-        let items: Vec<u64> = (0..64).collect();
-        let f = |idx: usize, &item: &u64| trial_seed(item, idx).to_le_bytes();
-        let seq = TrialRunner::new(1).run(&items, f);
-        let par = TrialRunner::new(8).run(&items, f);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn seeded_sweep_is_worker_count_independent() {
-        let one = TrialRunner::new(1).run_seeded(2020, 40, |seed| seed.wrapping_mul(3));
-        let eight = TrialRunner::new(8).run_seeded(2020, 40, |seed| seed.wrapping_mul(3));
-        assert_eq!(one, eight);
-    }
-
-    #[test]
-    fn zero_workers_clamps_to_one() {
-        assert_eq!(TrialRunner::new(0).workers(), 1);
-        let out = TrialRunner::new(0).run(&[1, 2, 3], |_, &x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn trial_seeds_are_well_spread() {
-        let mut seeds: Vec<u64> = (0..1000).map(|i| trial_seed(7, i)).collect();
-        seeds.sort_unstable();
-        seeds.dedup();
-        assert_eq!(seeds.len(), 1000, "no collisions across 1000 indices");
-    }
-}
+pub use ::runner::{scan_seed, trial_seed, TrialRunner};

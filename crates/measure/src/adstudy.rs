@@ -8,7 +8,6 @@
 
 use std::net::Ipv4Addr;
 
-use crossbeam::thread;
 use dns::auth::DNS_PORT;
 use dns::dnssec::{TrustAnchors, ZoneKey};
 use dns::message::Message;
@@ -199,28 +198,13 @@ pub fn run_client(spec: &AdClientSpec, seed: u64) -> ClientResult {
     sim.host::<TestPage>(CLIENT).expect("client exists").result
 }
 
-/// Runs the whole study over a population, in parallel, and aggregates
-/// Table V. Per-item seeds come from [`crate::scan_seed`] on the
-/// population index, so results are identical for any worker count.
+/// Runs the whole study over a population, fanned across the shared
+/// [`runner::TrialRunner`], and aggregates Table V. Per-item seeds come
+/// from [`crate::scan_seed`] on the population index, so results are
+/// identical for any worker count.
 pub fn run_study(population: &[AdClientSpec], seed: u64, workers: usize) -> AdStudyResult {
-    let workers = workers.max(1);
-    let chunk = population.len().div_ceil(workers).max(1);
-    let results: Vec<(AdClientSpec, ClientResult)> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk).enumerate() {
-            handles.push(s.spawn(move |_| {
-                block
-                    .iter()
-                    .enumerate()
-                    .map(|(j, spec)| {
-                        (*spec, run_client(spec, crate::scan_seed(seed, i * chunk + j)))
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("study thread")).collect()
-    })
-    .expect("study scope");
+    let results: Vec<(AdClientSpec, ClientResult)> = runner::TrialRunner::new(workers)
+        .run(population, |idx, spec| (*spec, run_client(spec, crate::scan_seed(seed, idx))));
 
     let valid: Vec<&(AdClientSpec, ClientResult)> =
         results.iter().filter(|(_, r)| r.valid()).collect();

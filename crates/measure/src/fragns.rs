@@ -119,13 +119,11 @@ impl Host for FragmentingNs {
         self.ipid = self.ipid.wrapping_add(1);
         let pkt = Ipv4Packet::udp(ctx.addr(), d.src, self.ipid, udp);
         let mtu = SIZES.iter().find(|(k, _)| *k == kind).map(|(_, mtu)| *mtu).unwrap_or(1500);
-        match fragment(&pkt, mtu) {
-            Ok(frags) => {
-                for f in frags {
-                    ctx.send_raw(f);
-                }
-            }
-            Err(_) => ctx.send_raw(pkt),
+        // `fragment` cannot fail here: the MTUs come from SIZES (all ≥ 68)
+        // and the packet is a fresh unfragmented one with DF clear.
+        let Ok(frags) = fragment(pkt, mtu) else { return };
+        for f in frags {
+            ctx.send_raw(f);
         }
     }
 }

@@ -23,12 +23,10 @@
 
 #![warn(missing_docs)]
 
-/// The seed for the population item at index `idx`: a pure function of the
-/// master seed and the index (splitmix-style mixing), so every scanner in
-/// this crate produces identical results for any worker count or chunking.
-pub fn scan_seed(seed: u64, idx: usize) -> u64 {
-    seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+// The per-index seed scheme lives in the `runner` crate (below both this
+// crate and `timeshift`) so every sweep in the workspace shares it; the
+// historic `measure::scan_seed` path keeps working.
+pub use runner::scan_seed;
 
 pub mod adstudy;
 pub mod fragns;

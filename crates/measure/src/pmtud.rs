@@ -8,7 +8,6 @@
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
-use crossbeam::thread;
 use dns::auth::{AuthServer, DNS_PORT};
 use dns::dnssec::ZoneKey;
 use dns::message::Message;
@@ -184,26 +183,12 @@ pub fn scan_nameserver(spec: &NameserverSpec, seed: u64) -> PmtudVerdict {
 /// Thresholds reported in Fig. 5.
 pub const CDF_THRESHOLDS: [u16; 5] = [68, 292, 548, 1276, 1492];
 
-/// Runs the scan over a population, in parallel. Per-item seeds come
-/// from [`crate::scan_seed`] on the population index, so results are
-/// identical for any worker count.
+/// Runs the scan over a population, fanned across the shared
+/// [`runner::TrialRunner`]. Per-item seeds come from [`crate::scan_seed`]
+/// on the population index, so results are identical for any worker count.
 pub fn run_scan(population: &[NameserverSpec], seed: u64, workers: usize) -> PmtudScanResult {
-    let workers = workers.max(1);
-    let chunk = population.len().div_ceil(workers).max(1);
-    let verdicts: Vec<PmtudVerdict> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk).enumerate() {
-            handles.push(s.spawn(move |_| {
-                block
-                    .iter()
-                    .enumerate()
-                    .map(|(j, spec)| scan_nameserver(spec, crate::scan_seed(seed, i * chunk + j)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("scan thread")).collect()
-    })
-    .expect("scan scope");
+    let verdicts = runner::TrialRunner::new(workers)
+        .run(population, |idx, spec| scan_nameserver(spec, crate::scan_seed(seed, idx)));
     let mut result = PmtudScanResult { scanned: population.len(), ..Default::default() };
     for v in &verdicts {
         if v.signed {

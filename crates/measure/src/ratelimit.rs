@@ -8,7 +8,6 @@
 
 use std::net::Ipv4Addr;
 
-use crossbeam::thread;
 use netsim::prelude::*;
 use ntp::packet::{peek_mode, ControlMessage, NtpMode, NtpPacket, NTP_PORT};
 use ntp::server::{NtpServer, RateLimitConfig};
@@ -152,26 +151,12 @@ pub fn scan_server(spec: &PoolServerSpec, seed: u64) -> ServerVerdict {
     sim.host::<Scanner>(scanner_addr).expect("scanner exists").verdict
 }
 
-/// Runs the full §VII-A scan over a population, in parallel. Per-item
-/// seeds come from [`crate::scan_seed`] on the population index, so
-/// results are identical for any worker count.
+/// Runs the full §VII-A scan over a population, fanned across the shared
+/// [`runner::TrialRunner`]. Per-item seeds come from [`crate::scan_seed`]
+/// on the population index, so results are identical for any worker count.
 pub fn run_scan(population: &[PoolServerSpec], seed: u64, workers: usize) -> RateLimitScanResult {
-    let workers = workers.max(1);
-    let chunk = population.len().div_ceil(workers).max(1);
-    let verdicts: Vec<ServerVerdict> = thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, block) in population.chunks(chunk).enumerate() {
-            handles.push(s.spawn(move |_| {
-                block
-                    .iter()
-                    .enumerate()
-                    .map(|(j, spec)| scan_server(spec, crate::scan_seed(seed, i * chunk + j)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("scan thread")).collect()
-    })
-    .expect("scan scope");
+    let verdicts = runner::TrialRunner::new(workers)
+        .run(population, |idx, spec| scan_server(spec, crate::scan_seed(seed, idx)));
     let mut result = RateLimitScanResult { scanned: population.len(), ..Default::default() };
     for v in &verdicts {
         if v.kod_seen {

@@ -376,17 +376,14 @@ pub fn aggregate_outcomes(probed: usize, outcomes: &[ResolverOutcome]) -> Survey
     result
 }
 
-/// Runs the survey over a population: the reference implementation of the
-/// pipeline — [`scan_resolver`] per item seeded by [`crate::scan_seed`] on
-/// its population index, folded by [`aggregate_outcomes`]. Parallel
-/// drivers (the `timeshift` trial runner) fan the same pieces across
-/// workers; both paths are bit-identical.
-pub fn run_survey(population: &[OpenResolverSpec], seed: u64) -> SurveyResult {
-    let outcomes: Vec<ResolverOutcome> = population
-        .iter()
-        .enumerate()
-        .map(|(idx, spec)| scan_resolver(spec, crate::scan_seed(seed, idx)))
-        .collect();
+/// Runs the survey over a population, fanned across the shared
+/// [`runner::TrialRunner`]: [`scan_resolver`] per item seeded by
+/// [`crate::scan_seed`] on its population index, folded by
+/// [`aggregate_outcomes`] in population order — bit-identical for any
+/// worker count.
+pub fn run_survey(population: &[OpenResolverSpec], seed: u64, workers: usize) -> SurveyResult {
+    let outcomes = runner::TrialRunner::new(workers)
+        .run(population, |idx, spec| scan_resolver(spec, crate::scan_seed(seed, idx)));
     aggregate_outcomes(population.len(), &outcomes)
 }
 
@@ -449,7 +446,7 @@ mod tests {
     #[test]
     fn small_survey_recovers_table4_shape() {
         let population = open_resolvers(150, 7);
-        let result = run_survey(&population, 8);
+        let result = run_survey(&population, 8, 4);
         assert!(result.verified > 0);
         // A-record row must be the most-cached one, near 69 %.
         let a = result.cached_fraction(1);

@@ -8,27 +8,48 @@
 //! 30 s (Linux) and 60–120 s (Windows), and caps of 64 / 100 concurrently
 //! pending fragments.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use bytes::{Bytes, BytesMut};
 
 use crate::error::FragmentError;
+use crate::fasthash::FastMap;
 use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, MIN_IPV4_MTU};
 use crate::time::{SimDuration, SimTime};
 
 /// Splits `pkt` into fragments no larger than `mtu` on-wire bytes.
 ///
 /// Fragment payload sizes are multiples of 8 bytes except for the last
-/// fragment, per RFC 791. Returns the packet unchanged (in a 1-vector) if it
-/// already fits.
+/// fragment, per RFC 791. Returns the packet unchanged (in a 1-vector) if
+/// it already fits — taking the packet by value makes that fast path (and
+/// the per-fragment construction) clone-free: the header fields are built
+/// once from the consumed packet and every fragment's payload is a
+/// zero-copy slice of the shared payload buffer.
 ///
 /// # Errors
 ///
 /// * [`FragmentError::MtuTooSmall`] if `mtu < 68`.
 /// * [`FragmentError::DontFragment`] if DF is set and the packet does not fit.
 /// * [`FragmentError::AlreadyFragmented`] if `pkt` is itself a fragment.
-pub fn fragment(pkt: &Ipv4Packet, mtu: u16) -> Result<Vec<Ipv4Packet>, FragmentError> {
+pub fn fragment(pkt: Ipv4Packet, mtu: u16) -> Result<Vec<Ipv4Packet>, FragmentError> {
+    let mut frags = Vec::new();
+    fragment_into(pkt, mtu, &mut frags)?;
+    Ok(frags)
+}
+
+/// [`fragment`] into a caller-supplied buffer (appended, not cleared):
+/// the simulator's send path reuses one buffer across sends, so steady
+/// state fragmentation allocates nothing.
+///
+/// # Errors
+///
+/// Same as [`fragment`]; on error nothing is appended.
+pub fn fragment_into(
+    pkt: Ipv4Packet,
+    mtu: u16,
+    out: &mut Vec<Ipv4Packet>,
+) -> Result<(), FragmentError> {
     if mtu < MIN_IPV4_MTU {
         return Err(FragmentError::MtuTooSmall { mtu });
     }
@@ -36,28 +57,33 @@ pub fn fragment(pkt: &Ipv4Packet, mtu: u16) -> Result<Vec<Ipv4Packet>, FragmentE
         return Err(FragmentError::AlreadyFragmented);
     }
     if pkt.wire_len() <= usize::from(mtu) {
-        return Ok(vec![pkt.clone()]);
+        out.push(pkt);
+        return Ok(());
     }
     if pkt.dont_fragment {
         return Err(FragmentError::DontFragment { len: pkt.wire_len(), mtu });
     }
     // Payload bytes per fragment, rounded down to a multiple of 8.
     let per_frag = (usize::from(mtu) - IPV4_HEADER_LEN) & !7;
-    let mut frags = Vec::new();
+    let Ipv4Packet { src, dst, id, ttl, protocol, payload, .. } = pkt;
+    out.reserve(payload.len().div_ceil(per_frag));
     let mut offset = 0usize;
-    while offset < pkt.payload.len() {
-        let end = usize::min(offset + per_frag, pkt.payload.len());
-        let last = end == pkt.payload.len();
-        frags.push(Ipv4Packet {
-            more_fragments: !last,
-            frag_offset: (offset / 8) as u16,
-            payload: pkt.payload.slice(offset..end),
+    while offset < payload.len() {
+        let end = usize::min(offset + per_frag, payload.len());
+        out.push(Ipv4Packet {
+            src,
+            dst,
+            id,
+            ttl,
+            protocol,
             dont_fragment: false,
-            ..pkt.clone()
+            more_fragments: end != payload.len(),
+            frag_offset: (offset / 8) as u16,
+            payload: payload.slice(offset..end),
         });
         offset = end;
     }
-    Ok(frags)
+    Ok(())
 }
 
 /// Key identifying the fragments of one original datagram.
@@ -145,20 +171,20 @@ struct Entry {
 ///     7,
 ///     Bytes::from(vec![0xAB; 2000]),
 /// );
-/// let frags = fragment(&pkt, 576).unwrap();
+/// let frags = fragment(pkt.clone(), 576).unwrap();
 /// let mut cache = DefragCache::new(DefragConfig::default());
 /// let mut out = None;
 /// for f in frags {
-///     out = cache.insert(SimTime::ZERO, &f);
+///     out = cache.insert(SimTime::ZERO, f);
 /// }
 /// assert_eq!(out.unwrap().payload, pkt.payload);
 /// ```
 #[derive(Debug)]
 pub struct DefragCache {
     config: DefragConfig,
-    entries: HashMap<FragKey, Entry>,
+    entries: FastMap<FragKey, Entry>,
     /// Count of pending fragments per (src, dst), enforcing the OS cap.
-    pending: HashMap<(Ipv4Addr, Ipv4Addr), usize>,
+    pending: FastMap<(Ipv4Addr, Ipv4Addr), usize>,
     /// Creation-time-ordered ring of reassembly entries: [`expire`]
     /// pops expired entries off the front instead of scanning the whole
     /// table. Entries completed (or replaced under the same key) before
@@ -170,6 +196,12 @@ pub struct DefragCache {
     ///
     /// [`expire`]: DefragCache::expire
     expiry: VecDeque<(SimTime, FragKey)>,
+    /// Pooled offset-order scratch for reassembly: indices into an entry's
+    /// fragment list, reused across inserts so a completion check never
+    /// allocates a temporary sort vector. (The assembled payload itself is
+    /// necessarily a fresh buffer — it escapes as the delivered packet,
+    /// frozen zero-copy.)
+    order: Vec<u32>,
 }
 
 impl DefragCache {
@@ -177,9 +209,10 @@ impl DefragCache {
     pub fn new(config: DefragConfig) -> Self {
         DefragCache {
             config,
-            entries: HashMap::new(),
-            pending: HashMap::new(),
+            entries: FastMap::default(),
+            pending: FastMap::default(),
             expiry: VecDeque::new(),
+            order: Vec::new(),
         }
     }
 
@@ -196,14 +229,15 @@ impl DefragCache {
     /// Inserts a fragment at time `now`. If this completes a datagram,
     /// returns the reassembled (unfragmented) packet and clears the entry.
     ///
-    /// Non-fragments pass through unchanged. Expired entries are garbage
-    /// collected lazily on every insert.
-    pub fn insert(&mut self, now: SimTime, pkt: &Ipv4Packet) -> Option<Ipv4Packet> {
+    /// Takes the packet by value: non-fragments pass straight through
+    /// (zero-copy, zero-clone) and fragments move their payload into the
+    /// cache. Expired entries are garbage collected lazily on every insert.
+    pub fn insert(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<Ipv4Packet> {
         self.expire(now);
         if !pkt.is_fragment() {
-            return Some(pkt.clone());
+            return Some(pkt);
         }
-        let key = FragKey::of(pkt);
+        let key = FragKey::of(&pkt);
         let pair = (pkt.src, pkt.dst);
         let pending = self.pending.entry(pair).or_insert(0);
         if *pending >= self.config.max_pending_per_pair {
@@ -216,10 +250,11 @@ impl DefragCache {
             expiry.push_back((now, key));
             Entry { fragments: Vec::new(), created: now }
         });
+        let ttl = pkt.ttl;
         let new_frag = StoredFrag {
             offset: pkt.payload_offset(),
             more: pkt.more_fragments,
-            data: pkt.payload.clone(),
+            data: pkt.payload,
         };
         match entry.fragments.iter_mut().find(|f| f.offset == new_frag.offset) {
             Some(existing) => {
@@ -234,7 +269,7 @@ impl DefragCache {
                 *pending += 1;
             }
         }
-        if let Some(payload) = try_reassemble(&entry.fragments) {
+        if let Some(payload) = try_reassemble(&entry.fragments, &mut self.order) {
             let n = entry.fragments.len();
             self.entries.remove(&key);
             Self::debit(&mut self.pending, pair, n);
@@ -246,7 +281,7 @@ impl DefragCache {
                 dst: key.dst,
                 id: key.id,
                 protocol: key.protocol,
-                ttl: pkt.ttl,
+                ttl,
                 dont_fragment: false,
             });
         }
@@ -276,7 +311,7 @@ impl DefragCache {
     }
 
     fn debit(
-        pending: &mut HashMap<(Ipv4Addr, Ipv4Addr), usize>,
+        pending: &mut FastMap<(Ipv4Addr, Ipv4Addr), usize>,
         pair: (Ipv4Addr, Ipv4Addr),
         n: usize,
     ) {
@@ -291,12 +326,19 @@ impl DefragCache {
 
 /// Attempts to assemble a complete payload from stored fragments: requires a
 /// final fragment (`more == false`) and gap-free coverage from offset 0.
-fn try_reassemble(fragments: &[StoredFrag]) -> Option<Bytes> {
+///
+/// `order` is the cache's pooled index scratch (sorted by offset, stable —
+/// equal offsets keep arrival order), so a completion check allocates
+/// nothing; only a *successful* reassembly builds the output buffer, which
+/// escapes as the delivered payload via a zero-copy freeze.
+fn try_reassemble(fragments: &[StoredFrag], order: &mut Vec<u32>) -> Option<Bytes> {
     let total = fragments.iter().find(|f| !f.more).map(|f| f.offset + f.data.len())?;
-    let mut sorted: Vec<&StoredFrag> = fragments.iter().collect();
-    sorted.sort_by_key(|f| f.offset);
+    order.clear();
+    order.extend(0..fragments.len() as u32);
+    order.sort_by_key(|&i| fragments[i as usize].offset);
     let mut covered = 0usize;
-    for f in &sorted {
+    for &i in order.iter() {
+        let f = &fragments[i as usize];
         if f.offset > covered {
             return None; // gap
         }
@@ -305,17 +347,18 @@ fn try_reassemble(fragments: &[StoredFrag]) -> Option<Bytes> {
     if covered < total {
         return None;
     }
-    let mut buf = BytesMut::with_capacity(total);
-    buf.resize(total, 0);
+    let mut assembly = BytesMut::with_capacity(total);
+    assembly.resize(total, 0);
     // Write in reverse arrival-order so earlier fragments win overlaps
     // (matching FirstWins duplicate handling for partial overlaps too).
-    for f in sorted.iter().rev() {
+    for &i in order.iter().rev() {
+        let f = &fragments[i as usize];
         let end = usize::min(f.offset + f.data.len(), total);
         if f.offset < total {
-            buf[f.offset..end].copy_from_slice(&f.data[..end - f.offset]);
+            assembly[f.offset..end].copy_from_slice(&f.data[..end - f.offset]);
         }
     }
-    Some(buf.freeze())
+    Some(assembly.freeze())
 }
 
 #[cfg(test)]
@@ -334,7 +377,7 @@ mod tests {
     #[test]
     fn small_packet_not_fragmented() {
         let p = pkt(100, 1);
-        let frags = fragment(&p, 576).unwrap();
+        let frags = fragment(p.clone(), 576).unwrap();
         assert_eq!(frags.len(), 1);
         assert_eq!(frags[0], p);
     }
@@ -342,7 +385,7 @@ mod tests {
     #[test]
     fn fragment_sizes_respect_mtu_and_alignment() {
         let p = pkt(3000, 2);
-        let frags = fragment(&p, 576).unwrap();
+        let frags = fragment(p.clone(), 576).unwrap();
         assert!(frags.len() >= 2);
         for (i, f) in frags.iter().enumerate() {
             assert!(f.wire_len() <= 576);
@@ -357,11 +400,11 @@ mod tests {
     #[test]
     fn reassembly_out_of_order() {
         let p = pkt(2500, 3);
-        let mut frags = fragment(&p, 576).unwrap();
+        let mut frags = fragment(p.clone(), 576).unwrap();
         frags.reverse();
         let mut cache = DefragCache::new(DefragConfig::default());
         let mut done = None;
-        for f in &frags {
+        for f in frags {
             done = cache.insert(SimTime::ZERO, f);
         }
         let out = done.expect("should reassemble");
@@ -373,13 +416,13 @@ mod tests {
     fn df_packet_refuses_fragmentation() {
         let mut p = pkt(3000, 4);
         p.dont_fragment = true;
-        assert!(matches!(fragment(&p, 576), Err(FragmentError::DontFragment { .. })));
+        assert!(matches!(fragment(p.clone(), 576), Err(FragmentError::DontFragment { .. })));
     }
 
     #[test]
     fn mtu_below_68_rejected() {
         let p = pkt(3000, 5);
-        assert!(matches!(fragment(&p, 60), Err(FragmentError::MtuTooSmall { .. })));
+        assert!(matches!(fragment(p.clone(), 60), Err(FragmentError::MtuTooSmall { .. })));
     }
 
     #[test]
@@ -388,49 +431,49 @@ mod tests {
         // real fragments. The reassembled payload must contain the spoofed
         // second half.
         let p = pkt(2000, 6);
-        let frags = fragment(&p, 1028).unwrap();
+        let frags = fragment(p.clone(), 1028).unwrap();
         assert_eq!(frags.len(), 2);
         let mut spoofed = frags[1].clone();
         spoofed.payload = Bytes::from(vec![0xEE; spoofed.payload.len()]);
 
         let mut cache = DefragCache::new(DefragConfig::default());
-        assert!(cache.insert(SimTime::ZERO, &spoofed).is_none());
+        assert!(cache.insert(SimTime::ZERO, spoofed.clone()).is_none());
         let out = cache
-            .insert(SimTime::from_nanos(1), &frags[0])
+            .insert(SimTime::from_nanos(1), frags[0].clone())
             .expect("first real fragment completes with planted second");
         assert_eq!(&out.payload[frags[1].payload_offset()..], &spoofed.payload[..]);
         // The real second fragment now opens a fresh (never-completing) entry.
-        assert!(cache.insert(SimTime::from_nanos(2), &frags[1]).is_none());
+        assert!(cache.insert(SimTime::from_nanos(2), frags[1].clone()).is_none());
         assert_eq!(cache.pending_reassemblies(), 1);
     }
 
     #[test]
     fn last_wins_policy_lets_real_fragment_replace_spoof() {
         let p = pkt(2000, 7);
-        let frags = fragment(&p, 1028).unwrap();
+        let frags = fragment(p.clone(), 1028).unwrap();
         let mut spoofed = frags[1].clone();
         spoofed.payload = Bytes::from(vec![0xEE; spoofed.payload.len()]);
         let mut cache = DefragCache::new(DefragConfig {
             duplicate_policy: DuplicatePolicy::LastWins,
             ..DefragConfig::default()
         });
-        cache.insert(SimTime::ZERO, &spoofed);
-        cache.insert(SimTime::ZERO, &frags[1]); // real second replaces spoof
-        let out = cache.insert(SimTime::ZERO, &frags[0]).unwrap();
+        cache.insert(SimTime::ZERO, spoofed.clone());
+        cache.insert(SimTime::ZERO, frags[1].clone()); // real second replaces spoof
+        let out = cache.insert(SimTime::ZERO, frags[0].clone()).unwrap();
         assert_eq!(out.payload, p.payload);
     }
 
     #[test]
     fn timeout_expires_planted_fragment() {
         let p = pkt(2000, 8);
-        let frags = fragment(&p, 1028).unwrap();
+        let frags = fragment(p.clone(), 1028).unwrap();
         let mut cache = DefragCache::new(DefragConfig::default());
-        cache.insert(SimTime::ZERO, &frags[1]);
+        cache.insert(SimTime::ZERO, frags[1].clone());
         assert_eq!(cache.pending_reassemblies(), 1);
         // After the 30 s Linux timeout the planted fragment is gone and the
         // first fragment alone cannot complete.
         let late = SimTime::ZERO + SimDuration::from_secs(31);
-        assert!(cache.insert(late, &frags[0]).is_none());
+        assert!(cache.insert(late, frags[0].clone()).is_none());
         assert_eq!(cache.pending_reassemblies(), 1); // only the fresh frag 0
     }
 
@@ -440,11 +483,11 @@ mod tests {
         let mut cache = DefragCache::new(config);
         // Plant 10 second-fragments with distinct IPIDs; only 4 fit.
         let p = pkt(2000, 0);
-        let template = fragment(&p, 1028).unwrap()[1].clone();
+        let template = fragment(p.clone(), 1028).unwrap()[1].clone();
         for id in 0..10u16 {
             let mut f = template.clone();
             f.id = id;
-            cache.insert(SimTime::ZERO, &f);
+            cache.insert(SimTime::ZERO, f.clone());
         }
         assert_eq!(cache.pending_for_pair(p.src, p.dst), 4);
         assert_eq!(cache.pending_reassemblies(), 4);
@@ -457,13 +500,13 @@ mod tests {
         // entries expire strictly oldest-first.
         let config = DefragConfig { max_pending_per_pair: 64, ..DefragConfig::default() };
         let mut cache = DefragCache::new(config);
-        let template = fragment(&pkt(2000, 0), 1028).unwrap()[1].clone();
+        let template = fragment(pkt(2000, 0), 1028).unwrap()[1].clone();
         // 200 planted second-fragments, one per 100 ms, distinct IPIDs.
         for id in 0..200u16 {
             let mut f = template.clone();
             f.id = id;
             let t = SimTime::ZERO + SimDuration::from_millis(u64::from(id) * 100);
-            cache.insert(t, &f);
+            cache.insert(t, f.clone());
             assert!(
                 cache.pending_reassemblies() <= 64,
                 "cap breached at id {id}: {}",
@@ -491,14 +534,14 @@ mod tests {
         // ring marker of the completed entry must not expire the new one
         // prematurely, and the new entry still expires on its own clock.
         let p = pkt(2000, 42);
-        let frags = fragment(&p, 1028).unwrap();
+        let frags = fragment(p.clone(), 1028).unwrap();
         let mut cache = DefragCache::new(DefragConfig::default());
-        cache.insert(SimTime::ZERO, &frags[1]);
-        assert!(cache.insert(SimTime::ZERO, &frags[0]).is_some(), "completes");
+        cache.insert(SimTime::ZERO, frags[1].clone());
+        assert!(cache.insert(SimTime::ZERO, frags[0].clone()).is_some(), "completes");
         assert_eq!(cache.pending_reassemblies(), 0);
         // Re-plant the second fragment 10 s later under the same key.
         let t10 = SimTime::ZERO + SimDuration::from_secs(10);
-        cache.insert(t10, &frags[1]);
+        cache.insert(t10, frags[1].clone());
         assert_eq!(cache.pending_reassemblies(), 1);
         // At t=31 s the ORIGINAL entry would have expired; the re-planted
         // one (created t=10 s) must survive until t=40 s.
@@ -511,10 +554,10 @@ mod tests {
     #[test]
     fn reassembled_packet_has_clean_flags() {
         let p = pkt(2500, 9);
-        let frags = fragment(&p, 576).unwrap();
+        let frags = fragment(p.clone(), 576).unwrap();
         let mut cache = DefragCache::new(DefragConfig::default());
         let mut out = None;
-        for f in &frags {
+        for f in frags {
             out = cache.insert(SimTime::ZERO, f);
         }
         let out = out.unwrap();

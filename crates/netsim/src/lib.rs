@@ -15,7 +15,9 @@
 //! * [`os`] — OS stack profiles (Linux, Windows, filtering resolvers…);
 //! * [`link`] — latency/jitter/loss link models;
 //! * [`sim`] — the event loop, [`sim::Host`] trait and per-host
-//!   [`sim::NetStack`].
+//!   [`sim::NetStack`];
+//! * [`wheel`] — the hierarchical timing wheel backing the event loop
+//!   (O(1) schedule/pop in heap `(time, sequence)` order).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 
 pub mod checksum;
 pub mod error;
+pub mod fasthash;
 pub mod frag;
 pub mod icmp;
 pub mod ipv4;
@@ -57,6 +60,7 @@ pub mod pmtu;
 pub mod sim;
 pub mod time;
 pub mod udp;
+pub mod wheel;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {

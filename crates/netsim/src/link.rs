@@ -1,10 +1,10 @@
 //! Link models: latency, jitter and loss between simulated hosts.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use rand::{Rng, RngExt};
 
+use crate::fasthash::FastMap;
 use crate::time::SimDuration;
 
 /// Properties of the path between two hosts.
@@ -78,13 +78,13 @@ impl Default for LinkSpec {
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     default: LinkSpec,
-    overrides: HashMap<(Ipv4Addr, Ipv4Addr), LinkSpec>,
+    overrides: FastMap<(Ipv4Addr, Ipv4Addr), LinkSpec>,
 }
 
 impl Topology {
     /// A topology where every path uses `default`.
     pub fn uniform(default: LinkSpec) -> Self {
-        Topology { default, overrides: HashMap::new() }
+        Topology { default, overrides: FastMap::default() }
     }
 
     /// Sets the directional link from `src` to `dst`.
@@ -102,6 +102,10 @@ impl Topology {
 
     /// The spec governing delivery from `src` to `dst`.
     pub fn link(&self, src: Ipv4Addr, dst: Ipv4Addr) -> &LinkSpec {
+        // Uniform topologies (the common Monte-Carlo case) skip the hash.
+        if self.overrides.is_empty() {
+            return &self.default;
+        }
         self.overrides.get(&(src, dst)).unwrap_or(&self.default)
     }
 }

@@ -5,9 +5,9 @@
 //! sending stack — which is precisely what makes the DNS response
 //! fragment-replaceable.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use crate::fasthash::FastMap;
 use crate::os::PmtudPolicy;
 use crate::time::SimTime;
 
@@ -20,7 +20,7 @@ struct PmtuEntry {
 /// Cache of learned path MTUs keyed by destination address.
 #[derive(Debug, Default)]
 pub struct PmtuCache {
-    entries: HashMap<Ipv4Addr, PmtuEntry>,
+    entries: FastMap<Ipv4Addr, PmtuEntry>,
 }
 
 impl PmtuCache {
@@ -62,6 +62,11 @@ impl PmtuCache {
     /// Returns the effective MTU towards `dst`: the cached value if fresh,
     /// else `interface_mtu`.
     pub fn mtu_towards(&mut self, now: SimTime, dst: Ipv4Addr, interface_mtu: u16) -> u16 {
+        // Hosts that never received a frag-needed skip the hash entirely —
+        // this runs once per UDP send on the simulator's hot path.
+        if self.entries.is_empty() {
+            return interface_mtu;
+        }
         match self.entries.get(&dst) {
             Some(entry) if entry.expires > now => entry.mtu.min(interface_mtu),
             Some(_) => {

@@ -16,10 +16,16 @@
 //! back to one interner lookup at delivery time. Host callbacks write their
 //! deferred effects into a scratch buffer owned by the simulator, so steady
 //! state dispatch allocates nothing.
+//!
+//! Events are queued in a hierarchical [timing wheel](crate::wheel) — O(1)
+//! schedule/pop in the same `(time, sequence)` total order a binary heap
+//! would give — and packets are **move-delivered**: the simulator transfers
+//! ownership of each [`Ipv4Packet`] from the wire through the stack
+//! (reassembly, checksum verification) to the host callback without a
+//! single packet clone.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -27,7 +33,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 
 use crate::error::SimError;
-use crate::frag::{fragment, DefragCache};
+use crate::fasthash::FastMap;
+use crate::frag::{fragment_into, DefragCache};
 use crate::icmp::IcmpMessage;
 use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, PROTO_ICMP, PROTO_UDP};
 use crate::link::Topology;
@@ -35,6 +42,7 @@ use crate::os::{IpidMode, OsProfile};
 use crate::pmtu::PmtuCache;
 use crate::time::{SimDuration, SimTime};
 use crate::udp::UdpDatagram;
+use crate::wheel::TimingWheel;
 
 /// Token identifying a timer set by a host; the host chooses the value and
 /// receives it back in [`Host::on_timer`].
@@ -107,7 +115,7 @@ pub struct NetStack {
     defrag: DefragCache,
     pmtu: PmtuCache,
     ipid_global: u16,
-    ipid_per_dst: HashMap<Ipv4Addr, IpidSlot>,
+    ipid_per_dst: FastMap<Ipv4Addr, IpidSlot>,
     /// LRU order of `ipid_per_dst` accesses, lazily cleaned: entries whose
     /// tick no longer matches the map are stale and skipped on eviction.
     ipid_lru: VecDeque<(u64, Ipv4Addr)>,
@@ -140,7 +148,7 @@ impl NetStack {
             defrag: DefragCache::new(profile.defrag),
             pmtu: PmtuCache::new(),
             ipid_global: ipid_start,
-            ipid_per_dst: HashMap::new(),
+            ipid_per_dst: FastMap::default(),
             ipid_lru: VecDeque::new(),
             ipid_tick: 0,
             ipid_evictions: 0,
@@ -216,19 +224,40 @@ impl NetStack {
         dgram: &UdpDatagram,
         rng: &mut R,
     ) -> Vec<Ipv4Packet> {
+        let mut out = Vec::new();
+        self.send_udp_into(now, src, dst, dgram, rng, &mut out);
+        out
+    }
+
+    /// [`NetStack::send_udp`] into a caller-supplied buffer (appended):
+    /// the simulator reuses one buffer across sends, so the steady-state
+    /// send path allocates only the wire bytes themselves.
+    pub fn send_udp_into<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        dgram: &UdpDatagram,
+        rng: &mut R,
+        out: &mut Vec<Ipv4Packet>,
+    ) {
         let Ok(udp_bytes) = dgram.encode(src, dst) else {
-            return Vec::new();
+            return;
         };
         let id = self.next_ipid(dst, rng);
         let pkt = Ipv4Packet::udp(src, dst, id, udp_bytes);
         let mtu = self.pmtu.mtu_towards(now, dst, self.profile.interface_mtu);
-        fragment(&pkt, mtu).unwrap_or_default()
+        let _ = fragment_into(pkt, mtu, out);
     }
 
     /// Processes an arriving packet: filters fragments per policy,
     /// reassembles, verifies UDP checksums, applies PMTUD updates.
     /// Returns what should be handed to the host, if anything.
-    pub fn receive(&mut self, now: SimTime, pkt: &Ipv4Packet) -> Option<StackOutput> {
+    ///
+    /// Takes the packet by value: the stack owns it from here (the
+    /// zero-clone delivery path), storing fragments and slicing payloads
+    /// out of the packet's shared buffer instead of copying.
+    pub fn receive(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<StackOutput> {
         if pkt.is_fragment() {
             if !self.profile.accept_fragments {
                 return None;
@@ -245,7 +274,8 @@ impl NetStack {
         match complete.protocol {
             PROTO_UDP => {
                 let dgram =
-                    UdpDatagram::decode(&complete.payload, complete.src, complete.dst).ok()?;
+                    UdpDatagram::decode_bytes(&complete.payload, complete.src, complete.dst)
+                        .ok()?;
                 Some(StackOutput::Udp(Datagram {
                     src: complete.src,
                     dst: complete.dst,
@@ -399,13 +429,8 @@ pub struct SimStats {
     /// Per-destination IPID counters evicted past the cache cap, summed
     /// over all host stacks.
     pub ipid_evictions: u64,
-}
-
-#[derive(Debug, PartialEq, Eq)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
+    /// High-water mark of the event queue (scheduled, not yet dispatched).
+    pub peak_queue_depth: u64,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -423,18 +448,6 @@ enum EventKind {
         host: HostId,
         token: TimerToken,
     },
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// One slab slot: a host, its stack, and the address they answer to.
@@ -462,16 +475,17 @@ struct HostSlot {
 /// ```
 pub struct Simulator {
     now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Reverse<Event>>,
+    queue: TimingWheel<EventKind>,
     slots: Vec<HostSlot>,
-    addr_to_id: HashMap<Ipv4Addr, HostId>,
+    addr_to_id: FastMap<Ipv4Addr, HostId>,
     topology: Topology,
     rng: SmallRng,
     stats: SimStats,
     /// Reusable action buffer handed to host callbacks (no per-event
     /// allocation on the dispatch path).
     scratch: Vec<Action>,
+    /// Reusable fragment buffer for the send path (no per-send allocation).
+    pkt_scratch: Vec<Ipv4Packet>,
     max_events: u64,
 }
 
@@ -481,14 +495,14 @@ impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            seq: 0,
-            heap: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             slots: Vec::new(),
-            addr_to_id: HashMap::new(),
+            addr_to_id: FastMap::default(),
             topology: Topology::default(),
             rng: SmallRng::seed_from_u64(seed),
             stats: SimStats::default(),
             scratch: Vec::new(),
+            pkt_scratch: Vec::new(),
             max_events: u64::MAX,
         }
     }
@@ -597,13 +611,13 @@ impl Simulator {
     /// Dispatches queued events up to `deadline` within the event budget,
     /// leaving `now` at the last dispatched event.
     fn drain_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.at > deadline || self.stats.events_dispatched >= self.max_events {
+        while let Some(at) = self.queue.peek() {
+            if at > deadline || self.stats.events_dispatched >= self.max_events {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked event exists");
-            self.now = self.now.max(ev.at);
-            self.dispatch(ev);
+            let (at, kind) = self.queue.pop().expect("peeked event exists");
+            self.now = self.now.max(at);
+            self.dispatch(kind);
         }
     }
 
@@ -626,21 +640,20 @@ impl Simulator {
     /// the process. Without a budget the queue must be finite.
     pub fn run_to_completion(&mut self) -> Result<(), SimError> {
         self.drain_until(SimTime::MAX);
-        if !self.heap.is_empty() && self.event_budget_exhausted() {
+        if !self.queue.is_empty() && self.event_budget_exhausted() {
             return Err(SimError::EventBudgetExceeded { max_events: self.max_events });
         }
         Ok(())
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq, kind }));
+        self.queue.schedule(at, kind);
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
     }
 
-    fn dispatch(&mut self, ev: Event) {
+    fn dispatch(&mut self, kind: EventKind) {
         self.stats.events_dispatched += 1;
-        match ev.kind {
+        match kind {
             EventKind::Start { host } => self.call_host(host, HostInput::Start),
             EventKind::Timer { host, token } => {
                 self.stats.timers_fired += 1;
@@ -672,9 +685,12 @@ impl Simulator {
                 if consumed {
                     return;
                 }
+                // The stack takes ownership of the packet from here
+                // (move-delivery: no clone between wire and host).
+                let non_final = pkt.is_fragment() && pkt.more_fragments;
                 let output = {
                     let slot = &mut self.slots[id.index()];
-                    slot.stack.receive(self.now, &pkt)
+                    slot.stack.receive(self.now, pkt)
                 };
                 match output {
                     Some(StackOutput::Udp(dgram)) => {
@@ -685,7 +701,7 @@ impl Simulator {
                         self.call_host(id, HostInput::Icmp(from, msg));
                     }
                     None => {
-                        if !pkt.is_fragment() || !pkt.more_fragments {
+                        if !non_final {
                             self.stats.datagrams_dropped += 1;
                         }
                     }
@@ -717,13 +733,22 @@ impl Simulator {
         for action in actions.drain(..) {
             match action {
                 Action::SendUdp { dst, dgram } => {
-                    let pkts = {
+                    let mut pkts = std::mem::take(&mut self.pkt_scratch);
+                    {
                         let slot = &mut self.slots[origin.index()];
-                        slot.stack.send_udp(self.now, origin_addr, dst, &dgram, &mut self.rng)
-                    };
-                    for pkt in pkts {
+                        slot.stack.send_udp_into(
+                            self.now,
+                            origin_addr,
+                            dst,
+                            &dgram,
+                            &mut self.rng,
+                            &mut pkts,
+                        );
+                    }
+                    for pkt in pkts.drain(..) {
                         self.transmit(origin_addr, pkt);
                     }
+                    self.pkt_scratch = pkts;
                 }
                 Action::SendIcmp { dst, msg } => {
                     let id = {
@@ -768,7 +793,7 @@ impl std::fmt::Debug for Simulator {
         f.debug_struct("Simulator")
             .field("now", &self.now)
             .field("hosts", &self.slots.len())
-            .field("queued_events", &self.heap.len())
+            .field("queued_events", &self.queue.len())
             .field("stats", &self.stats())
             .finish()
     }

@@ -71,6 +71,39 @@ impl UdpDatagram {
     /// failed checksum (checksum 0 means "not computed" and is accepted,
     /// matching real IPv4 stacks).
     pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram, WireError> {
+        let declared = Self::verify(data, src, dst)?;
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..declared]),
+        })
+    }
+
+    /// Zero-copy variant of [`UdpDatagram::decode`]: the returned payload
+    /// is a slice sharing `data`'s storage instead of a fresh copy. This is
+    /// the simulator's delivery path — a reassembled datagram reaches the
+    /// host without its payload ever being re-copied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`UdpDatagram::decode`].
+    pub fn decode_bytes(
+        data: &Bytes,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<UdpDatagram, WireError> {
+        let declared = Self::verify(data, src, dst)?;
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            payload: data.slice(UDP_HEADER_LEN..declared),
+        })
+    }
+
+    /// Shared validation for the decode variants: checks header length,
+    /// declared length and the pseudo-header checksum, returning the
+    /// declared datagram length.
+    fn verify(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<usize, WireError> {
         if data.len() < UDP_HEADER_LEN {
             return Err(WireError::Truncated { needed: UDP_HEADER_LEN, got: data.len() });
         }
@@ -88,24 +121,28 @@ impl UdpDatagram {
                 return Err(WireError::BadChecksum { layer: "udp" });
             }
         }
-        Ok(UdpDatagram {
-            src_port: u16::from_be_bytes([data[0], data[1]]),
-            dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..]),
-        })
+        Ok(declared)
     }
 
     /// Computes the UDP checksum over the pseudo-header and `segment`
     /// (header + payload, with the checksum field as currently present).
+    ///
+    /// The pseudo-header is summed from a stack buffer and combined with
+    /// the segment's sum in ones'-complement arithmetic — no allocation,
+    /// no copy of the segment (this runs twice per packet on the hot path:
+    /// once on encode, once on verify).
     pub fn compute_checksum(segment: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> u16 {
-        let mut pseudo = Vec::with_capacity(12 + segment.len());
-        pseudo.extend_from_slice(&src.octets());
-        pseudo.extend_from_slice(&dst.octets());
-        pseudo.push(0);
-        pseudo.push(PROTO_UDP);
-        pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
-        pseudo.extend_from_slice(segment);
-        checksum::checksum(&pseudo)
+        let mut pseudo = [0u8; 12];
+        pseudo[0..4].copy_from_slice(&src.octets());
+        pseudo[4..8].copy_from_slice(&dst.octets());
+        pseudo[9] = PROTO_UDP;
+        pseudo[10..12].copy_from_slice(&(segment.len() as u16).to_be_bytes());
+        // Both parts are even-length, so word alignment is preserved and
+        // the ones'-complement sums combine exactly.
+        !checksum::oc_add(
+            checksum::ones_complement_sum(&pseudo),
+            checksum::ones_complement_sum(segment),
+        )
     }
 }
 

@@ -1,0 +1,168 @@
+//! # runner — the parallel Monte-Carlo trial driver
+//!
+//! Every paper artifact (Tables I–II, Fig. 5, Table V, the §VII-A scan,
+//! the Fig. 6/7 survey sweeps) is a sweep of *independent* trials: each
+//! trial builds its own seeded simulation, runs it to an outcome, and the
+//! outcomes are aggregated. [`TrialRunner`] fans those trials across
+//! `workers` scoped threads and merges the results **in item order**, so
+//! the output is byte-identical to the sequential path for any worker
+//! count: parallelism changes only wall-clock time, never results.
+//!
+//! This crate sits below both `measure` (the §VII–§VIII scan drivers) and
+//! `timeshift` (the table/figure experiments), so the whole workspace
+//! shares one parallel code path and one per-index seed scheme.
+//!
+//! Determinism contract: a trial's seed must be a pure function of the
+//! master seed and the item index (see [`scan_seed`] / [`trial_seed`]) —
+//! never of which worker picks the item up or when.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::thread;
+
+/// The seed for the population item at index `idx`: a pure function of the
+/// master seed and the index (splitmix-style mixing), so every sweep in
+/// the workspace produces identical results for any worker count or
+/// chunking. Full avalanche mixing happens inside the simulators'
+/// `SmallRng::seed_from_u64`.
+pub fn scan_seed(seed: u64, idx: usize) -> u64 {
+    seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Derives the per-trial seed for item `idx` under `master` — an alias of
+/// [`scan_seed`], the workspace's one per-index seed scheme.
+pub fn trial_seed(master: u64, idx: usize) -> u64 {
+    scan_seed(master, idx)
+}
+
+/// Fans independent trials across a fixed number of worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRunner {
+    workers: usize,
+}
+
+impl TrialRunner {
+    /// A runner using `workers` threads (0 is clamped to 1; 1 runs inline
+    /// on the calling thread with no spawn at all).
+    pub fn new(workers: usize) -> Self {
+        TrialRunner { workers: workers.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `trial(index, &item)` for every item and returns the results in
+    /// item order, regardless of which worker ran what when.
+    ///
+    /// Work is distributed dynamically (an atomic cursor over `items`), so
+    /// uneven trial durations — a 17-minute and an 84-minute attack in the
+    /// same sweep — still saturate all workers.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial after the scope joins.
+    pub fn run<I, T, F>(&self, items: &[I], trial: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, item)| trial(i, item)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let trial = &trial;
+        let per_worker: Vec<Vec<(usize, T)>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            out.push((i, trial(i, item)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("trial worker panicked")).collect()
+        })
+        .expect("trial scope");
+        // Deterministic merge: slot every result at its item index.
+        let mut results: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+        for (i, value) in per_worker.into_iter().flatten() {
+            results[i] = Some(value);
+        }
+        results.into_iter().map(|r| r.expect("every item ran exactly once")).collect()
+    }
+
+    /// Runs `trials` seeded trials: trial `i` receives
+    /// [`trial_seed`]`(master_seed, i)`. Results come back in trial order.
+    pub fn run_seeded<T, F>(&self, master_seed: u64, trials: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        let seeds: Vec<u64> = (0..trials).map(|i| trial_seed(master_seed, i)).collect();
+        self.run(&seeds, |_, &seed| f(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = TrialRunner::new(8).run(&items, |idx, &item| {
+            assert_eq!(idx, item);
+            item * 3
+        });
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |idx: usize, &item: &u64| trial_seed(item, idx).to_le_bytes();
+        let seq = TrialRunner::new(1).run(&items, f);
+        let par = TrialRunner::new(8).run(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn seeded_sweep_is_worker_count_independent() {
+        let one = TrialRunner::new(1).run_seeded(2020, 40, |seed| seed.wrapping_mul(3));
+        let eight = TrialRunner::new(8).run_seeded(2020, 40, |seed| seed.wrapping_mul(3));
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(TrialRunner::new(0).workers(), 1);
+        let out = TrialRunner::new(0).run(&[1, 2, 3], |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn trial_seeds_are_well_spread() {
+        let mut seeds: Vec<u64> = (0..1000).map(|i| trial_seed(7, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000, "no collisions across 1000 indices");
+    }
+
+    #[test]
+    fn scan_and_trial_seed_agree() {
+        for idx in [0usize, 1, 17, 4096] {
+            assert_eq!(scan_seed(0xABCD, idx), trial_seed(0xABCD, idx));
+        }
+    }
+}

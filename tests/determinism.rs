@@ -57,9 +57,9 @@ fn resolver_survey_is_worker_count_independent() {
     assert_eq!(run(1), run(8));
 }
 
-/// The measure-crate scans (Fig. 5, Table V, §VII-A) chunk statically but
-/// seed every item by its population index — also worker-count
-/// independent, so the whole measurement campaign is.
+/// The measure-crate scans (Fig. 5, Table V, §VII-A) run through the
+/// shared `TrialRunner` and seed every item by its population index —
+/// also worker-count independent, so the whole measurement campaign is.
 #[test]
 fn measure_scans_are_worker_count_independent() {
     let run = |workers| {
@@ -73,6 +73,30 @@ fn measure_scans_are_worker_count_independent() {
         )
     };
     assert_eq!(run(1), run(7));
+}
+
+/// The four measure scans ported onto `runner::TrialRunner` (Fig. 5
+/// PMTUD, §VII-A rate limiting, Table V ad study, the Table IV / Fig. 6/7
+/// snooping survey), driven through the `measure` API directly:
+/// byte-identical at 1, 2 and 8 workers.
+#[test]
+fn ported_measure_scans_match_at_1_2_and_8_workers() {
+    let nameservers = domain_nameservers(60, 3);
+    let pool = pool_servers(40, 4);
+    let ads = ad_clients_scaled(5, 0.001);
+    let resolvers = open_resolvers(40, 6);
+    let run = |workers: usize| {
+        format!(
+            "{:?}\n{:?}\n{:?}\n{:?}",
+            measure::pmtud::run_scan(&nameservers, 9, workers),
+            measure::ratelimit::run_scan(&pool, 10, workers),
+            measure::adstudy::run_study(&ads, 11, workers),
+            measure::snoop::run_survey(&resolvers, 12, workers),
+        )
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(2), "2 workers must match sequential");
+    assert_eq!(sequential, run(8), "8 workers must match sequential");
 }
 
 /// Raw runner sweep over seeds: order and values survive parallelism.

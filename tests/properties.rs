@@ -16,7 +16,7 @@ proptest! {
         let src: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
         let dst: std::net::Ipv4Addr = "10.0.0.2".parse().unwrap();
         let pkt = Ipv4Packet::udp(src, dst, 7, Bytes::from(payload.clone()));
-        let frags = netsim::frag::fragment(&pkt, mtu).unwrap();
+        let frags = netsim::frag::fragment(pkt, mtu).unwrap();
         // Small MTUs can exceed the OS cap of 64 pending fragments per
         // pair (that cap is itself tested in netsim); lift it here to test
         // the reassembly algebra alone.
@@ -25,7 +25,7 @@ proptest! {
             ..DefragConfig::default()
         });
         let mut out = None;
-        for f in &frags {
+        for f in frags {
             prop_assert!(f.wire_len() <= usize::from(mtu));
             out = cache.insert(SimTime::ZERO, f);
         }
@@ -96,7 +96,7 @@ proptest! {
         // pseudo-header, as the nameserver would emit it.
         let segment = UdpDatagram::new(53, 53, Bytes::from(payload)).encode(src, dst).unwrap();
         let pkt = Ipv4Packet::udp(src, dst, 0x4242, segment);
-        let frags = netsim::frag::fragment(&pkt, mtu).unwrap();
+        let frags = netsim::frag::fragment(pkt, mtu).unwrap();
         prop_assert!(frags.len() >= 2, "must actually fragment at mtu {}", mtu);
 
         // The attacker edits the second fragment and repairs its sum via a
@@ -119,9 +119,9 @@ proptest! {
             ..DefragConfig::default()
         });
         let mut out = None;
-        for f in std::iter::once(&frags[0])
-            .chain(std::iter::once(&spoofed))
-            .chain(frags.iter().skip(2))
+        for f in std::iter::once(frags[0].clone())
+            .chain(std::iter::once(spoofed))
+            .chain(frags.iter().skip(2).cloned())
         {
             out = cache.insert(SimTime::ZERO, f);
         }

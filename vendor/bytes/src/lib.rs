@@ -34,9 +34,14 @@ macro_rules! fmt_bytes_debug {
 }
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so that `From<Vec<u8>>` —
+/// and therefore [`BytesMut::freeze`] — transfers ownership of the
+/// existing allocation instead of copying it, matching the real crate's
+/// zero-copy freeze.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -152,9 +157,8 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = Arc::from(v);
-        let end = data.len();
-        Bytes { data, start: 0, end }
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
