@@ -2,60 +2,22 @@
 //!
 //! This is the regression guard for the engine's hot paths: slab-indexed
 //! dispatch, the timing-wheel event queue, the zero-clone packet delivery
-//! path, and `DefragCache::expire`'s time-ordered ring. The event budget
-//! bounds each iteration to an exact event count, so the measured time is
-//! time-per-N-events.
+//! path, the pooled buffer allocator, and `DefragCache::expire`'s
+//! time-ordered ring. The event budget bounds each iteration to an exact
+//! event count, so the measured time is time-per-N-events. The ring/drive
+//! machinery itself lives in `bench::engine_driver`, shared with the
+//! `trajectory` scenario smoke runner.
 //!
 //! In `--test` smoke mode (CI) the headline numbers are also written to
 //! `BENCH_engine.json` at the workspace root — the per-PR perf trajectory
-//! artifact.
+//! artifact — after being checked by the `bench::json` validator (a
+//! malformed artifact panics the smoke run and fails CI).
 
 use std::net::Ipv4Addr;
-use std::time::Instant;
 
+use bench::engine_driver::{drive, measure, EVENTS_PER_ITER, RING_HOSTS};
 use criterion::{criterion_group, criterion_main, Criterion};
 use timeshift::prelude::*;
-
-const EVENTS_PER_ITER: u64 = 100_000;
-const RING_HOSTS: u32 = 64;
-
-/// Forwards every datagram to the next host in the ring, forever. The
-/// event budget is what terminates the run.
-struct RingForwarder {
-    next: Ipv4Addr,
-}
-
-impl Host for RingForwarder {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send_udp(self.next, 4000, 4000, bytes::Bytes::from_static(b"lap"));
-    }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, d: &Datagram) {
-        ctx.send_udp(self.next, d.dst_port, d.src_port, d.payload.clone());
-    }
-}
-
-fn ring_sim(seed: u64) -> Simulator {
-    let mut sim = Simulator::with_topology(
-        seed,
-        Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(5))),
-    );
-    let addr = |i: u32| Ipv4Addr::from(0x0A00_0000 + 1 + i);
-    for i in 0..RING_HOSTS {
-        let next = addr((i + 1) % RING_HOSTS);
-        sim.add_host(addr(i), OsProfile::linux(), Box::new(RingForwarder { next }))
-            .expect("ring address free");
-    }
-    sim.set_event_budget(EVENTS_PER_ITER);
-    sim
-}
-
-/// One full iteration: dispatch exactly [`EVENTS_PER_ITER`] events.
-fn drive(seed: u64) -> SimStats {
-    let mut sim = ring_sim(seed);
-    // The budget (not the deadline) terminates the run.
-    sim.run_for(SimDuration::from_secs(86_400));
-    sim.stats()
-}
 
 fn defrag_churn(rounds: u64) -> usize {
     let mut cache =
@@ -77,22 +39,37 @@ fn defrag_churn(rounds: u64) -> usize {
     pending_peak
 }
 
-/// Writes the perf-trajectory artifact to the workspace root. Failure to
-/// write (e.g. a read-only checkout) only warns: the bench result itself
-/// still stands.
+/// Writes the perf-trajectory artifact to the workspace root after
+/// validating it. Failure to *write* (e.g. a read-only checkout) only
+/// warns; emitting malformed JSON panics — that is the CI gate.
 fn write_bench_json(stats: &SimStats, elapsed_secs: f64, rate: f64, defrag_peak: usize) {
+    let pool_served = stats.pool_hits + stats.pool_misses;
+    let pool_hit_rate =
+        if pool_served == 0 { 1.0 } else { stats.pool_hits as f64 / pool_served as f64 };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let json = format!(
         "{{\n  \"bench\": \"engine\",\n  \"events_dispatched\": {},\n  \
          \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.0},\n  \
          \"peak_queue_depth\": {},\n  \"ipid_evictions\": {},\n  \
+         \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_hit_rate\": {:.6},\n  \
          \"defrag_spray_rounds\": 30000,\n  \"defrag_peak_pending\": {}\n}}\n",
         stats.events_dispatched,
         elapsed_secs,
         rate,
         stats.peak_queue_depth,
         stats.ipid_evictions,
+        stats.pool_hits,
+        stats.pool_misses,
+        pool_hit_rate,
         defrag_peak,
+    );
+    bench::json::validate(&json).expect("BENCH_engine.json must be well-formed JSON");
+    assert!(
+        pool_hit_rate >= 0.99,
+        "steady-state deliver path must be allocation-free: pool hit rate {pool_hit_rate:.4} \
+         ({} hits / {} misses)",
+        stats.pool_hits,
+        stats.pool_misses
     );
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
@@ -102,40 +79,32 @@ fn write_bench_json(stats: &SimStats, elapsed_secs: f64, rate: f64, defrag_peak:
 
 fn bench(c: &mut Criterion) {
     // Headline numbers once per run: end-to-end events/sec of the loop,
-    // peak event-queue depth, and the defrag cache's churn behaviour.
-    // Best of three drives of the SAME seed (identical stats every time,
-    // minimum elapsed): the recorded trajectory number reflects the
-    // engine, not scheduler noise or seed luck.
-    let (mut stats, mut elapsed) = {
-        let start = Instant::now();
-        (drive(1), start.elapsed())
-    };
-    for _ in 0..2 {
-        let start = Instant::now();
-        let s = drive(1);
-        let e = start.elapsed();
-        if e < elapsed {
-            (stats, elapsed) = (s, e);
-        }
-    }
-    let rate = stats.events_dispatched as f64 / elapsed.as_secs_f64();
+    // peak event-queue depth, pool hit rate, and the defrag cache's churn
+    // behaviour. Best of three drives of the SAME seed (identical stats
+    // every time, minimum elapsed): the recorded trajectory number
+    // reflects the engine, not scheduler noise or seed luck.
+    let (stats, elapsed) = measure();
+    let rate = stats.events_dispatched as f64 / elapsed;
     let defrag_peak = defrag_churn(30_000);
+    let pool_served = stats.pool_hits + stats.pool_misses;
     bench::show(
         "Engine",
         &format!(
-            "wheel dispatch: {} events in {:?} ≈ {:.2} M events/sec, peak queue {}\n\
-             (ring of {RING_HOSTS} hosts, 5 ms links, budget-bounded); \
-             defrag spray peak pending {}",
+            "wheel dispatch: {} events in {:.3?}s ≈ {:.2} M events/sec, peak queue {}\n\
+             (ring of {RING_HOSTS} hosts, 5 ms links, budget of {EVENTS_PER_ITER}); \
+             pool: {}/{} serves allocation-free; defrag spray peak pending {}",
             stats.events_dispatched,
             elapsed,
             rate / 1e6,
             stats.peak_queue_depth,
+            stats.pool_hits,
+            pool_served,
             defrag_peak
         ),
     );
     // Smoke mode is the per-PR CI entry point: record the trajectory.
     if std::env::args().skip(1).any(|a| a == "--test") {
-        write_bench_json(&stats, elapsed.as_secs_f64(), rate, defrag_peak);
+        write_bench_json(&stats, elapsed, rate, defrag_peak);
     }
 
     c.bench_function("engine/dispatch_100k_events", |b| {

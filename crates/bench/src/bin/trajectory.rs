@@ -1,0 +1,124 @@
+//! Scenario-layer perf-trajectory smoke runner.
+//!
+//! `BENCH_engine.json` guards the raw event loop; this binary extends the
+//! same scheme to the scenario layer (dns → ntp → attack on top of the
+//! engine), where a regression would otherwise be invisible. It drives the
+//! Table I / Table II / Fig. 6 / Fig. 7 experiments at `Scale::quick()`
+//! through `runner::TrialRunner`, times each, and writes
+//! `BENCH_scenarios.json` (trials/sec per scenario plus engine
+//! events/sec) to the workspace root; CI uploads it per PR next to
+//! `BENCH_engine.json`.
+//!
+//! The runner validates its own JSON output (and `BENCH_engine.json`, if
+//! present) with the dependency-free validator in `bench::json` and exits
+//! non-zero on any malformation or panic — that is the CI gate.
+//!
+//! Run with: `cargo run --release -p bench --bin trajectory`
+
+use std::time::Instant;
+
+use timeshift::prelude::*;
+
+/// One timed scenario measurement.
+struct Entry {
+    name: &'static str,
+    trials: usize,
+    elapsed_secs: f64,
+}
+
+impl Entry {
+    fn trials_per_sec(&self) -> f64 {
+        self.trials as f64 / self.elapsed_secs.max(1e-9)
+    }
+}
+
+fn timed(name: &'static str, trials: impl FnOnce() -> usize) -> Entry {
+    let start = Instant::now();
+    let n = trials();
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("{name:8} {n:4} trials in {elapsed:8.3}s  ({:.2} trials/sec)", {
+        n as f64 / elapsed.max(1e-9)
+    });
+    Entry { name, trials: n, elapsed_secs: elapsed }
+}
+
+fn main() {
+    let scale = Scale::quick();
+    println!("scenario trajectory smoke at Scale::quick() ({} workers)\n", scale.workers);
+
+    let mut entries = Vec::new();
+
+    // Table I: one full boot-time attack per client model.
+    let e = timed("table1", || {
+        let rows = experiments::table1(scale.seed, scale.workers);
+        assert!(!rows.is_empty(), "table1 produced no rows");
+        rows.len()
+    });
+    entries.push(e);
+
+    // Table II: the four end-to-end run-time attack cases.
+    let e = timed("table2", || {
+        let rows = experiments::table2(scale.seed, scale.workers);
+        assert!(!rows.is_empty(), "table2 produced no rows");
+        rows.len()
+    });
+    entries.push(e);
+
+    // Fig. 6: resolver survey + TTL histogram (one mini-sim per resolver).
+    let e = timed("fig6", || {
+        let survey = experiments::resolver_survey(scale);
+        let hist = survey.ttl_histogram(10, 150);
+        assert!(!hist.is_empty(), "fig6 histogram is empty");
+        scale.resolvers
+    });
+    entries.push(e);
+
+    // Fig. 7: the same survey read through the latency side channel.
+    let e = timed("fig7", || {
+        let survey = experiments::resolver_survey(scale);
+        let hist = survey.timing_histogram(25.0, 200.0);
+        assert!(!hist.is_empty(), "fig7 histogram is empty");
+        scale.resolvers
+    });
+    entries.push(e);
+
+    // Engine headline number, so one artifact carries the whole picture.
+    let (stats, engine_elapsed) = bench::engine_driver::measure();
+    let engine_rate = stats.events_dispatched as f64 / engine_elapsed;
+    println!("\nengine   {:.2} M events/sec", engine_rate / 1e6);
+
+    let mut scenarios = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            scenarios.push_str(",\n");
+        }
+        scenarios.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"trials\": {}, \"elapsed_secs\": {:.6}, \
+             \"trials_per_sec\": {:.3} }}",
+            e.name,
+            e.trials,
+            e.elapsed_secs,
+            e.trials_per_sec()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"scenarios\",\n  \"scale\": \"quick\",\n  \"workers\": {},\n  \
+         \"scenarios\": [\n{}\n  ],\n  \"engine_events_per_sec\": {:.0},\n  \
+         \"engine_pool_hits\": {},\n  \"engine_pool_misses\": {}\n}}\n",
+        scale.workers, scenarios, engine_rate, stats.pool_hits, stats.pool_misses,
+    );
+
+    // The CI gate: refuse to publish a malformed artifact.
+    bench::json::validate(&json).expect("BENCH_scenarios.json must be well-formed JSON");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json");
+    std::fs::write(path, &json).expect("write BENCH_scenarios.json");
+    println!("wrote {path}");
+
+    // Cross-check the sibling artifact when the engine smoke ran first.
+    let engine_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    if let Ok(engine_json) = std::fs::read_to_string(engine_path) {
+        bench::json::validate(&engine_json).expect("BENCH_engine.json must be well-formed JSON");
+        println!("validated {engine_path}");
+    }
+}

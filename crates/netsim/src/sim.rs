@@ -23,6 +23,21 @@
 //! ownership of each [`Ipv4Packet`] from the wire through the stack
 //! (reassembly, checksum verification) to the host callback without a
 //! single packet clone.
+//!
+//! ## Allocation discipline
+//!
+//! The dispatch enums are kept at most 32 bytes (enforced by static
+//! asserts below): the payload-bearing variants of `Action` and
+//! `EventKind` box their contents, and the boxes are recycled through a
+//! simulator-owned freelist (`BoxPool`) — an in-flight packet reuses the
+//! box of a previously delivered one. Wire bytes
+//! themselves come from the vendored `bytes` buffer pool (inline storage
+//! for ≤ 64 B, a thread-local `Arc<Vec<u8>>` freelist above that), so the
+//! steady-state encode → transmit → deliver path performs **zero heap
+//! allocations**. [`Simulator::new`] resets that pool, making the
+//! [`SimStats::pool_hits`]/[`SimStats::pool_misses`] counters a pure
+//! function of the simulation (determinism contract: identical for any
+//! worker count or thread reuse).
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -330,12 +345,89 @@ impl NetStack {
 }
 
 /// Deferred effects a host requests during a callback.
+///
+/// The payload-bearing variants are boxed so the enum stays hot-path
+/// small (≤ 32 B asserted below): `apply_actions` drains a `Vec<Action>`
+/// per event, and small variants keep that traffic in a couple of cache
+/// lines. The boxes for the common sends are recycled via [`BoxPool`].
 #[derive(Debug)]
 enum Action {
-    SendUdp { dst: Ipv4Addr, dgram: UdpDatagram },
-    SendIcmp { dst: Ipv4Addr, msg: IcmpMessage },
-    SendRaw(Ipv4Packet),
+    SendUdp { dst: Ipv4Addr, dgram: Box<UdpDatagram> },
+    SendIcmp { dst: Ipv4Addr, msg: Box<IcmpMessage> },
+    SendRaw(Box<Ipv4Packet>),
     SetTimer { at: SimTime, token: TimerToken },
+}
+
+// The dispatch enums ride the hottest loops in the workspace; keep them
+// small enough that moving one is a couple of register pairs.
+const _: () = assert!(std::mem::size_of::<Action>() <= 32, "Action grew past 32 bytes");
+const _: () = assert!(std::mem::size_of::<EventKind>() <= 32, "EventKind grew past 32 bytes");
+
+/// Recycled `Box` allocations for the boxed hot-enum variants: a delivered
+/// packet's box is reused for the next transmitted one, so boxing the
+/// variants costs no steady-state allocation.
+#[derive(Debug, Default)]
+// The boxes ARE the resource being pooled: each retained `Box` is a live
+// allocation waiting to carry the next event, so `Vec<Box<_>>` is exactly
+// right here despite the usual lint.
+#[allow(clippy::vec_box)]
+struct BoxPool {
+    pkts: Vec<Box<Ipv4Packet>>,
+    dgrams: Vec<Box<UdpDatagram>>,
+}
+
+/// Upper bound on retained boxes per kind; anything beyond the high-water
+/// mark of in-flight events is just memory.
+const BOX_POOL_CAP: usize = 4096;
+
+fn blank_pkt() -> Ipv4Packet {
+    Ipv4Packet::udp(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 0, Bytes::new())
+}
+
+fn blank_dgram() -> UdpDatagram {
+    UdpDatagram::new(0, 0, Bytes::new())
+}
+
+impl BoxPool {
+    /// Boxes `pkt`, reusing a recycled box when one is available.
+    fn pkt(&mut self, pkt: Ipv4Packet) -> Box<Ipv4Packet> {
+        match self.pkts.pop() {
+            Some(mut b) => {
+                *b = pkt;
+                b
+            }
+            None => Box::new(pkt),
+        }
+    }
+
+    /// Boxes `dgram`, reusing a recycled box when one is available.
+    fn dgram(&mut self, dgram: UdpDatagram) -> Box<UdpDatagram> {
+        match self.dgrams.pop() {
+            Some(mut b) => {
+                *b = dgram;
+                b
+            }
+            None => Box::new(dgram),
+        }
+    }
+
+    /// Takes the packet out of its box and parks the box for reuse.
+    fn unbox_pkt(&mut self, mut b: Box<Ipv4Packet>) -> Ipv4Packet {
+        let pkt = std::mem::replace(&mut *b, blank_pkt());
+        if self.pkts.len() < BOX_POOL_CAP {
+            self.pkts.push(b);
+        }
+        pkt
+    }
+
+    /// Takes the datagram out of its box and parks the box for reuse.
+    fn unbox_dgram(&mut self, mut b: Box<UdpDatagram>) -> UdpDatagram {
+        let dgram = std::mem::replace(&mut *b, blank_dgram());
+        if self.dgrams.len() < BOX_POOL_CAP {
+            self.dgrams.push(b);
+        }
+        dgram
+    }
 }
 
 /// The capability handle hosts use inside callbacks.
@@ -344,6 +436,7 @@ pub struct Ctx<'a> {
     addr: Ipv4Addr,
     rng: &'a mut SmallRng,
     actions: &'a mut Vec<Action>,
+    boxes: &'a mut BoxPool,
 }
 
 impl<'a> Ctx<'a> {
@@ -365,13 +458,13 @@ impl<'a> Ctx<'a> {
     /// Sends a UDP datagram from this host (fragmented per the stack's path
     /// MTU towards `dst`).
     pub fn send_udp(&mut self, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Bytes) {
-        self.actions
-            .push(Action::SendUdp { dst, dgram: UdpDatagram::new(src_port, dst_port, payload) });
+        let dgram = self.boxes.dgram(UdpDatagram::new(src_port, dst_port, payload));
+        self.actions.push(Action::SendUdp { dst, dgram });
     }
 
     /// Sends an ICMP message from this host.
     pub fn send_icmp(&mut self, dst: Ipv4Addr, msg: IcmpMessage) {
-        self.actions.push(Action::SendIcmp { dst, msg });
+        self.actions.push(Action::SendIcmp { dst, msg: Box::new(msg) });
     }
 
     /// Injects a raw, fully-formed IPv4 packet (or fragment). The packet's
@@ -379,6 +472,7 @@ impl<'a> Ctx<'a> {
     /// host, so link latency/loss are those of this host's path to
     /// `pkt.dst`.
     pub fn send_raw(&mut self, pkt: Ipv4Packet) {
+        let pkt = self.boxes.pkt(pkt);
         self.actions.push(Action::SendRaw(pkt));
     }
 
@@ -396,7 +490,8 @@ impl<'a> Ctx<'a> {
         let dgram = UdpDatagram::new(src_port, dst_port, payload);
         if let Ok(bytes) = dgram.encode(spoofed_src, dst) {
             let id = self.rng.random();
-            self.actions.push(Action::SendRaw(Ipv4Packet::udp(spoofed_src, dst, id, bytes)));
+            let pkt = self.boxes.pkt(Ipv4Packet::udp(spoofed_src, dst, id, bytes));
+            self.actions.push(Action::SendRaw(pkt));
         }
     }
 
@@ -431,8 +526,18 @@ pub struct SimStats {
     pub ipid_evictions: u64,
     /// High-water mark of the event queue (scheduled, not yet dispatched).
     pub peak_queue_depth: u64,
+    /// Buffer-pool serves that avoided a heap allocation (inline storage
+    /// or a recycled backing store), read from the thread-local `bytes`
+    /// pool. [`Simulator::new`] resets the pool, so this is a pure
+    /// function of the simulation (same for any worker count).
+    pub pool_hits: u64,
+    /// Buffer-pool serves that had to allocate a fresh backing store.
+    pub pool_misses: u64,
 }
 
+/// The payload-bearing `Arrival` variant boxes its packet (recycled via
+/// [`BoxPool`]) so the enum stays within 32 bytes — events are memcpy'd
+/// through the timing wheel's cascade, and small events keep that cheap.
 #[derive(Debug, PartialEq, Eq)]
 enum EventKind {
     Start {
@@ -442,7 +547,7 @@ enum EventKind {
         /// Destination resolved at transmit time; `None` when the address
         /// had no registered host yet (re-resolved once at delivery).
         dst: Option<HostId>,
-        pkt: Ipv4Packet,
+        pkt: Box<Ipv4Packet>,
     },
     Timer {
         host: HostId,
@@ -486,13 +591,22 @@ pub struct Simulator {
     scratch: Vec<Action>,
     /// Reusable fragment buffer for the send path (no per-send allocation).
     pkt_scratch: Vec<Ipv4Packet>,
+    /// Recycled boxes for the boxed `Action`/`EventKind` variants.
+    boxes: BoxPool,
     max_events: u64,
 }
 
 impl Simulator {
     /// Creates a simulator with a deterministic RNG seed and a uniform WAN
     /// topology.
+    ///
+    /// Resets the thread-local `bytes` buffer pool: allocation behaviour —
+    /// and the [`SimStats::pool_hits`]/[`SimStats::pool_misses`] counters —
+    /// then depend only on this simulation, never on what ran earlier on
+    /// the thread (the determinism contract for worker-count-independent
+    /// sweeps).
     pub fn new(seed: u64) -> Self {
+        bytes::pool::reset();
         Simulator {
             now: SimTime::ZERO,
             queue: TimingWheel::new(),
@@ -503,6 +617,7 @@ impl Simulator {
             stats: SimStats::default(),
             scratch: Vec::new(),
             pkt_scratch: Vec::new(),
+            boxes: BoxPool::default(),
             max_events: u64::MAX,
         }
     }
@@ -518,10 +633,17 @@ impl Simulator {
     }
 
     /// Aggregate counters. IPID evictions are summed over the host stacks
-    /// at call time.
+    /// at call time; the buffer-pool counters are read from the
+    /// thread-local `bytes` pool, which [`Simulator::new`] reset — they
+    /// cover allocations made on this thread since this simulator was
+    /// built (valid for the most recently constructed simulator on the
+    /// thread, i.e. every sweep and test in this workspace).
     pub fn stats(&self) -> SimStats {
         let mut stats = self.stats;
         stats.ipid_evictions = self.slots.iter().map(|s| s.stack.ipid_evictions()).sum();
+        let pool = bytes::pool::stats();
+        stats.pool_hits = pool.freelist_hits + pool.inline_hits;
+        stats.pool_misses = pool.misses;
         stats
     }
 
@@ -660,6 +782,9 @@ impl Simulator {
                 self.call_host(host, HostInput::Timer(token));
             }
             EventKind::Arrival { dst, pkt } => {
+                // Reclaim the event's box first: the packet rides on as a
+                // plain value (move-delivery), the box serves the next send.
+                let pkt = self.boxes.unbox_pkt(pkt);
                 // Transmit-time resolution covers the common case; a packet
                 // in flight towards a host registered after transmission
                 // resolves here instead.
@@ -670,6 +795,7 @@ impl Simulator {
                 self.stats.packets_delivered += 1;
                 // Raw tap first: attacker-style hosts observe headers.
                 let mut actions = std::mem::take(&mut self.scratch);
+                let mut boxes = std::mem::take(&mut self.boxes);
                 let consumed = {
                     let slot = &mut self.slots[id.index()];
                     let mut ctx = Ctx {
@@ -677,9 +803,11 @@ impl Simulator {
                         addr: slot.addr,
                         rng: &mut self.rng,
                         actions: &mut actions,
+                        boxes: &mut boxes,
                     };
                     slot.host.on_raw_packet(&mut ctx, &pkt)
                 };
+                self.boxes = boxes;
                 self.apply_actions(id, &mut actions);
                 self.scratch = actions;
                 if consumed {
@@ -712,10 +840,16 @@ impl Simulator {
 
     fn call_host(&mut self, id: HostId, input: HostInput) {
         let mut actions = std::mem::take(&mut self.scratch);
+        let mut boxes = std::mem::take(&mut self.boxes);
         {
             let slot = &mut self.slots[id.index()];
-            let mut ctx =
-                Ctx { now: self.now, addr: slot.addr, rng: &mut self.rng, actions: &mut actions };
+            let mut ctx = Ctx {
+                now: self.now,
+                addr: slot.addr,
+                rng: &mut self.rng,
+                actions: &mut actions,
+                boxes: &mut boxes,
+            };
             match input {
                 HostInput::Start => slot.host.on_start(&mut ctx),
                 HostInput::Datagram(d) => slot.host.on_datagram(&mut ctx, &d),
@@ -723,6 +857,7 @@ impl Simulator {
                 HostInput::Timer(token) => slot.host.on_timer(&mut ctx, token),
             }
         }
+        self.boxes = boxes;
         self.apply_actions(id, &mut actions);
         self.scratch = actions;
     }
@@ -745,6 +880,9 @@ impl Simulator {
                             &mut pkts,
                         );
                     }
+                    // The datagram (and its payload reference) drops here;
+                    // the box goes back to the pool for the next send.
+                    drop(self.boxes.unbox_dgram(dgram));
                     for pkt in pkts.drain(..) {
                         self.transmit(origin_addr, pkt);
                     }
@@ -758,7 +896,10 @@ impl Simulator {
                     let pkt = Ipv4Packet::icmp(origin_addr, dst, id, msg.encode());
                     self.transmit(origin_addr, pkt);
                 }
-                Action::SendRaw(pkt) => self.transmit(origin_addr, pkt),
+                Action::SendRaw(pkt) => {
+                    let pkt = self.boxes.unbox_pkt(pkt);
+                    self.transmit(origin_addr, pkt);
+                }
                 Action::SetTimer { at, token } => {
                     self.push_event(at, EventKind::Timer { host: origin, token });
                 }
@@ -774,6 +915,7 @@ impl Simulator {
             Some(delay) => {
                 let at = self.now + delay;
                 let dst = self.host_id(pkt.dst);
+                let pkt = self.boxes.pkt(pkt);
                 self.push_event(at, EventKind::Arrival { dst, pkt });
             }
             None => self.stats.packets_lost += 1,
@@ -1152,6 +1294,56 @@ mod tests {
                 "warm destination must never be evicted"
             );
         }
+    }
+
+    #[test]
+    fn hot_enums_stay_within_32_bytes() {
+        // Also enforced at compile time by the static asserts next to the
+        // enum definitions; this test reports the actual numbers.
+        let action = std::mem::size_of::<Action>();
+        let event = std::mem::size_of::<EventKind>();
+        assert!(action <= 32, "Action is {action} bytes");
+        assert!(event <= 32, "EventKind is {event} bytes");
+    }
+
+    /// Steady-state traffic must be served by the buffer pool: after the
+    /// warmup sends, (nearly) every backing-store acquisition is an inline
+    /// or freelist hit.
+    #[test]
+    fn steady_state_sends_hit_the_buffer_pool() {
+        struct Ticker {
+            peer: Ipv4Addr,
+        }
+        impl Host for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+                // A small payload (inline) and a large one (freelist).
+                ctx.send_udp(self.peer, 1, 2, Bytes::from_static(b"tick"));
+                let mut big = bytes::BytesMut::with_capacity(900);
+                big.resize(900, 0x5A);
+                ctx.send_udp(self.peer, 3, 4, big.freeze());
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        let mut sim = Simulator::with_topology(
+            21,
+            Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(1))),
+        );
+        sim.add_host(A, OsProfile::linux(), Box::new(Ticker { peer: B })).unwrap();
+        sim.add_host(B, OsProfile::linux(), Box::new(Echo { received: 0 })).unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        let stats = sim.stats();
+        assert!(stats.datagrams_delivered > 1000, "traffic flowed: {stats:?}");
+        let served = stats.pool_hits + stats.pool_misses;
+        let hit_rate = stats.pool_hits as f64 / served as f64;
+        assert!(
+            hit_rate >= 0.99,
+            "steady state must be allocation-free: {} hits / {} misses",
+            stats.pool_hits,
+            stats.pool_misses
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * time is quantised into **ticks** of 2^[`TICK_SHIFT`] ns (≈ 1.05 ms —
 //!   so every event within ~67 ms of the cursor, i.e. any ordinary link
 //!   latency, files directly into level 0 and never cascades);
-//! * [`LEVELS`] wheel levels of [`SLOTS`] slots each cover ticks near the
+//! * `LEVELS` (6) wheel levels of `SLOTS` (64) slots each cover ticks near the
 //!   cursor at 1-tick resolution (level 0) and exponentially coarser
 //!   resolution above (level *L* spans 64^*L* ticks per slot);
 //! * events beyond the wheel horizon (2^36 ticks ≈ 2.3 simulated years) go

@@ -99,6 +99,26 @@ fn ported_measure_scans_match_at_1_2_and_8_workers() {
     assert_eq!(sequential, run(8), "8 workers must match sequential");
 }
 
+/// Buffer pooling is invisible to results: the same attack with the
+/// `bytes` recycling pool disabled produces a byte-identical outcome.
+/// (Pool hit/miss counters measure the allocator, not the simulation;
+/// they are kept deterministic separately, by the pool reset in
+/// `Simulator::new` — covered by `same_seed_same_stats_and_outcome`
+/// above, whose digests include them.)
+#[test]
+fn pooling_does_not_change_attack_digests() {
+    let run = || {
+        let config = ScenarioConfig { seed: 33, ..ScenarioConfig::default() };
+        format!("{:?}", run_boot_time_attack(config, ClientKind::Ntpd))
+    };
+    let was = bytes::pool::set_enabled(true);
+    let pooled = run();
+    bytes::pool::set_enabled(false);
+    let unpooled = run();
+    bytes::pool::set_enabled(was);
+    assert_eq!(pooled, unpooled, "recycled buffers must not alter the simulation");
+}
+
 /// Raw runner sweep over seeds: order and values survive parallelism.
 #[test]
 fn seeded_boot_sweep_merges_in_seed_order() {

@@ -1,16 +1,273 @@
-//! Offline stand-in for the `bytes` crate.
+//! Offline stand-in for the `bytes` crate, with a recycling buffer pool.
 //!
 //! The build environment has no crates.io access, so this vendored crate
 //! provides the subset of the `bytes` 1.x API the workspace uses: a
-//! cheaply-cloneable immutable [`Bytes`] buffer (`Arc`-backed, zero-copy
-//! slicing), a growable [`BytesMut`] builder, and the [`BufMut`] write
-//! trait. Semantics match the real crate for this subset.
+//! cheaply-cloneable immutable [`Bytes`] buffer, a growable [`BytesMut`]
+//! builder, and the [`BufMut`] write trait. Semantics match the real crate
+//! for this subset.
+//!
+//! On top of that subset, this stand-in removes the per-buffer heap
+//! traffic that dominates the simulator's encode → transmit → deliver
+//! path:
+//!
+//! * **Inline small buffers (SSO)** — payloads of at most [`INLINE_CAP`]
+//!   (64) bytes are stored inline in the `Bytes`/`BytesMut` value itself.
+//!   Creating, freezing, slicing and dropping them never touches the heap.
+//! * **Thread-local freelists ([`pool`])** — larger buffers build in a
+//!   plain `Vec<u8>` and freeze into an `Arc<Vec<u8>>`. When the last
+//!   `Bytes` referencing a backing store drops, the pair is taken apart
+//!   and both halves — the sized vec storage *and* the `Arc` control
+//!   block ("shell") — are parked on the current thread's freelists;
+//!   [`BytesMut::with_capacity`] and [`BytesMut::freeze`] revive them. In
+//!   steady state the encode/deliver path therefore performs zero heap
+//!   allocations.
+//!
+//! [`pool::stats`] exposes hit/miss counters, [`pool::reset`] clears the
+//! freelist and counters (the simulator calls it at construction so the
+//! counters are a pure function of the simulation — see
+//! `netsim::sim::SimStats`), and [`pool::set_enabled`] turns recycling off
+//! for A/B comparisons (inline storage is a representation property and is
+//! unaffected).
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
+
+/// Largest payload stored inline in a [`Bytes`]/[`BytesMut`] value (the
+/// small-string-optimisation threshold). Chosen to cover the simulator's
+/// small hot buffers: UDP headers, NTP mode-3/4 packets (48 B), ICMP echo
+/// probes and short application payloads.
+pub const INLINE_CAP: usize = 64;
+
+pub mod pool {
+    //! The thread-local recycling pool behind [`Bytes`](super::Bytes).
+    //!
+    //! Buffers larger than [`INLINE_CAP`](super::INLINE_CAP) are built in
+    //! a plain `Vec<u8>` (so writes cost exactly what `Vec` writes cost)
+    //! and frozen into an `Arc<Vec<u8>>`. The pool keeps two freelists per
+    //! thread:
+    //!
+    //! * **vec storage** — the sized payload allocations, revived by
+    //!   [`BytesMut::with_capacity`](super::BytesMut::with_capacity);
+    //! * **arc shells** — `Arc` control blocks holding an empty `Vec`,
+    //!   revived by `freeze` (one `Arc::get_mut` swaps the built vec in).
+    //!
+    //! When the last `Bytes` referencing a backing store drops, the pair
+    //! is taken apart again and both halves are parked. Steady state
+    //! therefore allocates nothing: not the payload storage, not the
+    //! refcount box. The pool is strictly thread-local: buffers recycle
+    //! on whichever thread drops them, and no locking is involved.
+
+    use std::cell::RefCell;
+    use std::sync::Arc;
+
+    /// Most recycled vec buffers (and arc shells) retained per thread.
+    pub const MAX_RESIDENT: usize = 256;
+
+    /// Largest buffer capacity the pool retains; bigger ones are freed so
+    /// a single oversized burst cannot pin memory forever.
+    pub const MAX_RECYCLED_CAPACITY: usize = 1 << 16;
+
+    /// Allocation counters of the current thread's pool.
+    ///
+    /// A "serve" is one backing-store acquisition event: constructing a
+    /// [`BytesMut`](super::BytesMut) or [`Bytes`](super::Bytes) that needs
+    /// storage. It is served from inline space, from the freelist, or by a
+    /// fresh heap allocation (a miss). Counters score *events*, not
+    /// logical buffers: a builder that starts inline and later spills to
+    /// pooled storage contributes one inline hit and one freelist
+    /// hit/miss.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct PoolStats {
+        /// Serves satisfied by reviving freelisted storage.
+        pub freelist_hits: u64,
+        /// Serves satisfied by inline (SSO) storage — no heap involved.
+        pub inline_hits: u64,
+        /// Serves that allocated fresh storage on the heap.
+        pub misses: u64,
+        /// Backing stores taken apart and parked by dropped buffers.
+        pub recycled: u64,
+        /// Vec buffers freed instead of parked (pool full, buffer too
+        /// large, or recycling disabled).
+        pub discarded: u64,
+        /// Vec buffers currently resident on the freelist.
+        pub resident: usize,
+    }
+
+    impl PoolStats {
+        /// Total backing-store acquisition events.
+        pub fn served(&self) -> u64 {
+            self.freelist_hits + self.inline_hits + self.misses
+        }
+
+        /// Fraction of serves that avoided a heap allocation (1.0 when
+        /// nothing was served yet).
+        pub fn hit_rate(&self) -> f64 {
+            let served = self.served();
+            if served == 0 {
+                1.0
+            } else {
+                (self.freelist_hits + self.inline_hits) as f64 / served as f64
+            }
+        }
+    }
+
+    struct Shelf {
+        vecs: Vec<Vec<u8>>,
+        shells: Vec<Arc<Vec<u8>>>,
+        stats: PoolStats,
+        enabled: bool,
+    }
+
+    // `const`-initialised so every access is a direct TLS load — this
+    // sits on the per-packet hot path, where a lazy-init check would
+    // cost as much as the allocation it replaces.
+    thread_local! {
+        static SHELF: RefCell<Shelf> = const {
+            RefCell::new(Shelf {
+                vecs: Vec::new(),
+                shells: Vec::new(),
+                stats: PoolStats {
+                    freelist_hits: 0,
+                    inline_hits: 0,
+                    misses: 0,
+                    recycled: 0,
+                    discarded: 0,
+                    resident: 0,
+                },
+                enabled: true,
+            })
+        };
+    }
+
+    /// Pops recycled vec storage of at least `capacity` bytes (plus an
+    /// arc shell for the eventual freeze, when one is parked) in a single
+    /// pool access, or allocates fresh storage (a miss).
+    #[inline]
+    pub(crate) fn acquire(capacity: usize) -> (Vec<u8>, Option<Arc<Vec<u8>>>) {
+        SHELF.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.enabled {
+                if let Some(mut v) = s.vecs.pop() {
+                    // A revival only counts as a hit when it really avoids
+                    // heap work; growing a too-small vec reallocates and is
+                    // scored as a miss so the hit rate cannot hide it.
+                    if v.capacity() >= capacity {
+                        s.stats.freelist_hits += 1;
+                    } else {
+                        s.stats.misses += 1;
+                        v.reserve(capacity);
+                    }
+                    return (v, s.shells.pop());
+                }
+            }
+            s.stats.misses += 1;
+            (Vec::with_capacity(capacity), None)
+        })
+    }
+
+    /// Parks builder storage that was never frozen (or frees it when it
+    /// does not fit).
+    #[inline]
+    pub(crate) fn recycle_parts(mut vec: Vec<u8>, shell: Option<Arc<Vec<u8>>>) {
+        SHELF.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.enabled && s.vecs.len() < MAX_RESIDENT && vec.capacity() <= MAX_RECYCLED_CAPACITY {
+                vec.clear();
+                s.vecs.push(vec);
+                s.stats.recycled += 1;
+            } else {
+                s.stats.discarded += 1;
+            }
+            if let Some(shell) = shell {
+                if s.enabled && s.shells.len() < MAX_RESIDENT {
+                    s.shells.push(shell);
+                }
+            }
+        });
+    }
+
+    /// Hands a frozen backing store back. If this was the last reference,
+    /// the pair is taken apart: the vec storage and the arc shell are both
+    /// parked. Shared drops are plain refcount decrements and return
+    /// before any TLS access.
+    #[inline]
+    pub(crate) fn recycle(arc: Arc<Vec<u8>>) {
+        // Only the last reference may be recycled. `strong_count` is an
+        // unsynchronised load, which is fine for the shared-drop early
+        // return (worst case a recycling opportunity is missed).
+        if Arc::strong_count(&arc) != 1 {
+            return;
+        }
+        // Pair the observed final decrement (a `Release` RMW in the other
+        // owners' drops) with an `Acquire` fence, exactly as `Arc`'s own
+        // deallocation path does, so their accesses to the buffer
+        // happen-before ours.
+        std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
+        // SAFETY: we hold an `Arc`, so `as_ptr` is valid; the count of 1
+        // means ours is the *only* strong reference (nobody else can clone
+        // it back up), this crate never creates `Weak`s, and the fence
+        // above orders the dead owners' accesses before this mutation —
+        // the inner vec may be moved out. (`Arc::get_mut` would prove the
+        // same thing but pays a weak-count CAS per call.)
+        let vec = std::mem::take(unsafe { &mut *(Arc::as_ptr(&arc) as *mut Vec<u8>) });
+        recycle_parts(vec, Some(arc));
+    }
+
+    /// Records a serve satisfied from inline (SSO) storage.
+    #[inline]
+    pub(crate) fn note_inline() {
+        SHELF.with(|s| s.borrow_mut().stats.inline_hits += 1);
+    }
+
+    /// Records the adopt-a-`Vec` path (`From<Vec<u8>>` above the inline
+    /// threshold): the buffer was not served by the pool, so it scores as
+    /// a miss.
+    #[inline]
+    pub(crate) fn note_adopt_miss() {
+        SHELF.with(|s| s.borrow_mut().stats.misses += 1);
+    }
+
+    /// Snapshot of the current thread's pool counters.
+    pub fn stats() -> PoolStats {
+        SHELF.with(|s| {
+            let s = s.borrow();
+            PoolStats { resident: s.vecs.len(), ..s.stats }
+        })
+    }
+
+    /// Clears the current thread's freelists and zeroes the counters. The
+    /// simulator calls this at construction so that allocation behaviour —
+    /// and therefore the pool counters it reports — depends only on the
+    /// simulation, never on what ran earlier on the thread.
+    pub fn reset() {
+        SHELF.with(|s| {
+            let mut s = s.borrow_mut();
+            s.vecs.clear();
+            s.shells.clear();
+            s.stats = PoolStats::default();
+        });
+    }
+
+    /// Enables or disables freelist recycling on the current thread
+    /// (inline storage is unaffected). Returns the previous setting. With
+    /// recycling off every non-inline serve is a fresh allocation — the
+    /// "unpooled path" used by the equivalence property tests.
+    pub fn set_enabled(enabled: bool) -> bool {
+        SHELF.with(|s| {
+            let mut s = s.borrow_mut();
+            let was = s.enabled;
+            s.enabled = enabled;
+            if !enabled {
+                s.vecs.clear();
+                s.shells.clear();
+            }
+            was
+        })
+    }
+}
 
 // Shared Debug body for Bytes/BytesMut: escape like the real crate.
 macro_rules! fmt_bytes_debug {
@@ -35,44 +292,83 @@ macro_rules! fmt_bytes_debug {
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
-/// Backed by `Arc<Vec<u8>>` (not `Arc<[u8]>`) so that `From<Vec<u8>>` —
-/// and therefore [`BytesMut::freeze`] — transfers ownership of the
-/// existing allocation instead of copying it, matching the real crate's
-/// zero-copy freeze.
-#[derive(Clone)]
+/// Two representations, invisible to callers:
+///
+/// * **Inline** — contents of at most [`INLINE_CAP`] bytes live in the
+///   value itself; clones and slices copy a few words and never touch the
+///   heap.
+/// * **Shared** — an `Arc<Vec<u8>>` backing store plus a `[start, end)`
+///   window; clones bump the refcount and [`Bytes::slice`] is zero-copy.
+///   When the last reference drops, the backing store is parked on the
+///   thread-local [`pool`] for reuse instead of being freed.
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
-    start: usize,
-    end: usize,
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [u8; INLINE_CAP],
+    },
+    /// Invariant: `arc` is `Some` for the lifetime of the value (the
+    /// `Option` exists so [`Drop`] can move the `Arc` out for recycling).
+    Shared {
+        arc: Option<Arc<Vec<u8>>>,
+        start: usize,
+        end: usize,
+    },
+}
+
+/// Builds an inline repr from a short slice (no stats counted — callers
+/// that *serve* a new buffer count it themselves).
+fn inline_repr(data: &[u8]) -> Repr {
+    debug_assert!(data.len() <= INLINE_CAP);
+    let mut buf = [0u8; INLINE_CAP];
+    buf[..data.len()].copy_from_slice(data);
+    Repr::Inline { len: data.len() as u8, buf }
 }
 
 impl Bytes {
-    /// Creates a new empty `Bytes`.
+    /// Creates a new empty `Bytes` (inline: no allocation).
     pub fn new() -> Self {
-        Bytes::from(Vec::new())
+        Bytes { repr: inline_repr(&[]) }
     }
 
     /// Creates `Bytes` from a static slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes::from(bytes.to_vec())
+        Bytes::copy_from_slice(bytes)
     }
 
-    /// Creates `Bytes` by copying the given slice.
+    /// Creates `Bytes` by copying the given slice (inline when it fits).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        if data.len() <= INLINE_CAP {
+            if !data.is_empty() {
+                pool::note_inline();
+            }
+            Bytes { repr: inline_repr(data) }
+        } else {
+            let mut m = BytesMut::with_capacity(data.len());
+            m.extend_from_slice(data);
+            m.freeze()
+        }
     }
 
     /// Number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        match &self.repr {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Shared { start, end, .. } => end - start,
+        }
     }
 
     /// True when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.len() == 0
     }
 
-    /// Returns a zero-copy sub-slice sharing the underlying storage.
+    /// Returns a sub-slice: zero-copy (sharing the backing store) for
+    /// pooled buffers, a cheap inline copy for inline ones.
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let len = self.len();
@@ -87,14 +383,25 @@ impl Bytes {
             Bound::Unbounded => len,
         };
         assert!(begin <= end && end <= len, "slice out of bounds");
-        Bytes { data: Arc::clone(&self.data), start: self.start + begin, end: self.start + end }
+        match &self.repr {
+            Repr::Inline { buf, .. } => {
+                // Shift-copy the window to the front; bytes past `len` are
+                // never read, so no re-zeroing is needed.
+                let mut b = *buf;
+                b.copy_within(begin..end, 0);
+                Bytes { repr: Repr::Inline { len: (end - begin) as u8, buf: b } }
+            }
+            Repr::Shared { arc, start, .. } => Bytes {
+                repr: Repr::Shared { arc: arc.clone(), start: start + begin, end: start + end },
+            },
+        }
     }
 
     /// Splits off and returns the first `at` bytes, advancing `self`.
     pub fn split_to(&mut self, at: usize) -> Self {
         assert!(at <= self.len(), "split_to out of bounds");
         let head = self.slice(..at);
-        self.start += at;
+        *self = self.slice(at..);
         head
     }
 
@@ -102,31 +409,55 @@ impl Bytes {
     pub fn split_off(&mut self, at: usize) -> Self {
         assert!(at <= self.len(), "split_off out of bounds");
         let tail = self.slice(at..);
-        self.end = self.start + at;
+        *self = self.slice(..at);
         tail
     }
 
     /// Shortens the buffer to `len` bytes.
     pub fn truncate(&mut self, len: usize) {
         if len < self.len() {
-            self.end = self.start + len;
+            *self = self.slice(..len);
         }
     }
 
     /// The remaining bytes (the whole buffer; `Buf::chunk` in real `bytes`).
+    #[inline]
     pub fn chunk(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..usize::from(*len)],
+            Repr::Shared { arc, start, end } => {
+                &arc.as_ref().expect("backing store present")[*start..*end]
+            }
+        }
     }
 
     /// Advances past the first `cnt` bytes (`Buf::advance`).
     pub fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
-        self.start += cnt;
+        *self = self.slice(cnt..);
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.chunk().to_vec()
+    }
+}
+
+impl Drop for Bytes {
+    #[inline]
+    fn drop(&mut self) {
+        if let Repr::Shared { arc, .. } = &mut self.repr {
+            if let Some(arc) = arc.take() {
+                pool::recycle(arc);
+            }
+        }
+    }
+}
+
+impl Clone for Bytes {
+    #[inline]
+    fn clone(&self) -> Self {
+        Bytes { repr: self.repr.clone() }
     }
 }
 
@@ -157,20 +488,32 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        if v.len() <= INLINE_CAP {
+            // Inlining releases the vec immediately and makes every later
+            // clone/slice heap-free; nothing new was allocated.
+            if !v.is_empty() {
+                pool::note_inline();
+            }
+            Bytes { repr: inline_repr(&v) }
+        } else {
+            // Adopt the existing allocation in a fresh shell (a miss: the
+            // pool served neither the storage nor the control block).
+            pool::note_adopt_miss();
+            let end = v.len();
+            Bytes { repr: Repr::Shared { arc: Some(Arc::new(v)), start: 0, end } }
+        }
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(s: &'static [u8]) -> Self {
-        Bytes::from(s.to_vec())
+        Bytes::copy_from_slice(s)
     }
 }
 
 impl<const N: usize> From<&'static [u8; N]> for Bytes {
     fn from(s: &'static [u8; N]) -> Self {
-        Bytes::from(s.to_vec())
+        Bytes::copy_from_slice(s)
     }
 }
 
@@ -247,90 +590,258 @@ impl fmt::Debug for Bytes {
 }
 
 /// A unique, growable buffer for building up byte sequences.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Small buffers (≤ [`INLINE_CAP`]) build inline; larger ones write into a
+/// plain `Vec<u8>` (recycled through the [`pool`]), so writes cost exactly
+/// what `Vec` writes cost. [`BytesMut::freeze`] marries the vec into a
+/// recycled `Arc` shell — no copy, and in steady state no allocation.
 pub struct BytesMut {
-    buf: Vec<u8>,
+    repr: MutRepr,
+}
+
+enum MutRepr {
+    Inline {
+        len: u8,
+        buf: [u8; INLINE_CAP],
+    },
+    /// A uniquely-owned plain vec (pool-recycled storage; writes cost
+    /// exactly what `Vec` writes cost) plus the arc shell `freeze` will
+    /// marry it into — popped together with the vec in one pool access.
+    Pooled {
+        vec: Vec<u8>,
+        shell: Option<Arc<Vec<u8>>>,
+    },
 }
 
 impl BytesMut {
-    /// Creates a new empty `BytesMut`.
+    /// Creates a new empty `BytesMut` (inline: no allocation).
+    #[inline]
     pub fn new() -> Self {
-        BytesMut { buf: Vec::new() }
+        BytesMut { repr: MutRepr::Inline { len: 0, buf: [0u8; INLINE_CAP] } }
     }
 
-    /// Creates a new empty `BytesMut` with the given capacity.
+    /// Creates a new empty `BytesMut` with the given capacity: inline when
+    /// it fits, otherwise backed by pooled (possibly recycled) storage.
+    #[inline]
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(capacity) }
+        if capacity <= INLINE_CAP {
+            if capacity > 0 {
+                pool::note_inline();
+            }
+            BytesMut::new()
+        } else {
+            let (vec, shell) = pool::acquire(capacity);
+            BytesMut { repr: MutRepr::Pooled { vec, shell } }
+        }
+    }
+
+    /// Moves inline contents into pooled storage with room for `capacity`.
+    fn spill(&mut self, capacity: usize) {
+        if let MutRepr::Inline { len, buf } = &self.repr {
+            let (mut vec, shell) = pool::acquire(capacity.max(2 * INLINE_CAP));
+            vec.clear();
+            vec.extend_from_slice(&buf[..usize::from(*len)]);
+            self.repr = MutRepr::Pooled { vec, shell };
+        }
     }
 
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        match &self.repr {
+            MutRepr::Inline { len, .. } => usize::from(*len),
+            MutRepr::Pooled { vec, .. } => vec.len(),
+        }
     }
 
     /// True when nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Reserves capacity for at least `additional` more bytes.
     pub fn reserve(&mut self, additional: usize) {
-        self.buf.reserve(additional);
+        match &mut self.repr {
+            MutRepr::Inline { len, .. } => {
+                let needed = usize::from(*len) + additional;
+                if needed > INLINE_CAP {
+                    self.spill(needed);
+                }
+            }
+            MutRepr::Pooled { vec, .. } => vec.reserve(additional),
+        }
     }
 
     /// Appends the slice to the buffer.
+    #[inline]
     pub fn extend_from_slice(&mut self, extend: &[u8]) {
-        self.buf.extend_from_slice(extend);
+        match &mut self.repr {
+            MutRepr::Inline { len, buf } if usize::from(*len) + extend.len() <= INLINE_CAP => {
+                let at = usize::from(*len);
+                buf[at..at + extend.len()].copy_from_slice(extend);
+                *len += extend.len() as u8;
+            }
+            MutRepr::Pooled { vec, .. } => vec.extend_from_slice(extend),
+            MutRepr::Inline { .. } => {
+                self.spill(self.len() + extend.len());
+                match &mut self.repr {
+                    MutRepr::Pooled { vec, .. } => vec.extend_from_slice(extend),
+                    MutRepr::Inline { .. } => unreachable!("just spilled"),
+                }
+            }
+        }
     }
 
     /// Resizes the buffer, filling new space with `value`.
     pub fn resize(&mut self, new_len: usize, value: u8) {
-        self.buf.resize(new_len, value);
+        match &mut self.repr {
+            MutRepr::Inline { len, buf } if new_len <= INLINE_CAP => {
+                let old = usize::from(*len);
+                if new_len > old {
+                    buf[old..new_len].fill(value);
+                }
+                *len = new_len as u8;
+            }
+            MutRepr::Pooled { vec, .. } => vec.resize(new_len, value),
+            MutRepr::Inline { .. } => {
+                self.spill(new_len);
+                match &mut self.repr {
+                    MutRepr::Pooled { vec, .. } => vec.resize(new_len, value),
+                    MutRepr::Inline { .. } => unreachable!("just spilled"),
+                }
+            }
+        }
     }
 
     /// Shortens the buffer to `len` bytes.
     pub fn truncate(&mut self, len: usize) {
-        self.buf.truncate(len);
+        match &mut self.repr {
+            MutRepr::Inline { len: l, .. } => {
+                if len < usize::from(*l) {
+                    *l = len as u8;
+                }
+            }
+            MutRepr::Pooled { vec, .. } => vec.truncate(len),
+        }
     }
 
     /// Clears the buffer.
     pub fn clear(&mut self) {
-        self.buf.clear();
+        self.truncate(0);
     }
 
-    /// Converts into an immutable [`Bytes`].
-    pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+    /// Converts into an immutable [`Bytes`]: an inline value for small
+    /// buffers; otherwise the built vec is married into the recycled
+    /// `Arc` shell popped at acquisition — no copy, and in steady state
+    /// no allocation.
+    #[inline]
+    pub fn freeze(mut self) -> Bytes {
+        match &mut self.repr {
+            MutRepr::Inline { len, buf } => Bytes { repr: Repr::Inline { len: *len, buf: *buf } },
+            MutRepr::Pooled { vec, shell } => {
+                let vec = std::mem::take(vec);
+                let end = vec.len();
+                let arc = match shell.take() {
+                    Some(shell) => {
+                        // SAFETY: parked shells are unique by construction:
+                        // `pool::recycle` proved uniqueness (count-1 check
+                        // plus acquire fence) when it parked the shell, and
+                        // since then the shell only sat in the thread-local
+                        // freelist and was handed to exactly this
+                        // `BytesMut` — no aliasing, and no `Weak` exists
+                        // anywhere in this crate. `Arc::get_mut` would
+                        // prove the same at the cost of a weak-count CAS
+                        // per freeze.
+                        unsafe { *(Arc::as_ptr(&shell) as *mut Vec<u8>) = vec };
+                        shell
+                    }
+                    None => Arc::new(vec),
+                };
+                Bytes { repr: Repr::Shared { arc: Some(arc), start: 0, end } }
+            }
+        }
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.buf.clone()
+        self.as_ref().to_vec()
     }
 }
+
+impl Drop for BytesMut {
+    #[inline]
+    fn drop(&mut self) {
+        if let MutRepr::Pooled { vec, shell } = &mut self.repr {
+            if vec.capacity() > 0 || shell.is_some() {
+                pool::recycle_parts(std::mem::take(vec), shell.take());
+            }
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        // Deep copy: the uniqueness invariant forbids sharing the store.
+        let mut out = BytesMut::with_capacity(self.len());
+        out.extend_from_slice(self.as_ref());
+        out
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for BytesMut {}
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf
+        match &self.repr {
+            MutRepr::Inline { len, buf } => &buf[..usize::from(*len)],
+            MutRepr::Pooled { vec, .. } => vec,
+        }
     }
 }
 
 impl std::ops::DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.buf
+        match &mut self.repr {
+            MutRepr::Inline { len, buf } => {
+                let len = usize::from(*len);
+                &mut buf[..len]
+            }
+            MutRepr::Pooled { vec, .. } => vec,
+        }
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.buf
+        self
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
     fn from(v: Vec<u8>) -> Self {
-        BytesMut { buf: v }
+        if v.len() <= INLINE_CAP {
+            if !v.is_empty() {
+                pool::note_inline();
+            }
+            let mut out = BytesMut::new();
+            out.extend_from_slice(&v);
+            out
+        } else {
+            // Adopt the caller's allocation as-is (a miss: not pool-served).
+            pool::note_adopt_miss();
+            BytesMut { repr: MutRepr::Pooled { vec: v, shell: None } }
+        }
     }
 }
 
@@ -375,12 +886,158 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.buf.extend_from_slice(src);
+        self.extend_from_slice(src);
     }
 }
 
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_shared_agree_on_content() {
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let b = Bytes::from(data.clone());
+            assert_eq!(b.len(), len);
+            assert_eq!(b.chunk(), &data[..]);
+            assert_eq!(b.to_vec(), data);
+        }
+    }
+
+    #[test]
+    fn slice_split_advance_truncate_across_reprs() {
+        for len in [10usize, 64, 65, 300] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let mut b = Bytes::from(data.clone());
+            let s = b.slice(2..len - 3);
+            assert_eq!(s.chunk(), &data[2..len - 3]);
+            let head = b.split_to(4);
+            assert_eq!(head.chunk(), &data[..4]);
+            assert_eq!(b.chunk(), &data[4..]);
+            let tail = b.split_off(3);
+            assert_eq!(b.chunk(), &data[4..7]);
+            assert_eq!(tail.chunk(), &data[7..]);
+            let mut c = Bytes::from(data.clone());
+            c.advance(5);
+            assert_eq!(c.chunk(), &data[5..]);
+            c.truncate(2);
+            assert_eq!(c.chunk(), &data[5..7]);
+        }
+    }
+
+    #[test]
+    fn freeze_is_zero_copy_for_pooled_buffers() {
+        let mut m = BytesMut::with_capacity(100);
+        m.extend_from_slice(&[0xAB; 100]);
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not copy pooled stores");
+    }
+
+    #[test]
+    fn dropped_backing_store_is_recycled_and_revived() {
+        pool::reset();
+        let mut m = BytesMut::with_capacity(1000);
+        m.extend_from_slice(&[1u8; 1000]);
+        assert_eq!(pool::stats().misses, 1);
+        let b = m.freeze();
+        let clone = b.clone();
+        drop(b); // still referenced by `clone`: nothing recycled
+        assert_eq!(pool::stats().recycled, 0);
+        drop(clone); // last reference: parked on the freelist
+        assert_eq!(pool::stats().recycled, 1);
+        assert_eq!(pool::stats().resident, 1);
+        let m2 = BytesMut::with_capacity(500);
+        assert_eq!(pool::stats().freelist_hits, 1, "revived, not reallocated");
+        assert_eq!(pool::stats().resident, 0);
+        drop(m2);
+        pool::reset();
+    }
+
+    #[test]
+    fn inline_buffers_never_touch_the_pool() {
+        pool::reset();
+        let b = Bytes::copy_from_slice(&[7u8; 64]);
+        let c = b.clone();
+        let s = b.slice(1..40);
+        drop((b, c, s));
+        let stats = pool::stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.freelist_hits, 0);
+        assert_eq!(stats.recycled, 0);
+        assert!(stats.inline_hits >= 1);
+        pool::reset();
+    }
+
+    #[test]
+    fn spill_preserves_content_across_the_inline_boundary() {
+        let mut m = BytesMut::new();
+        for i in 0..200u32 {
+            m.put_u8((i % 256) as u8);
+        }
+        assert_eq!(m.len(), 200);
+        let expect: Vec<u8> = (0..200u32).map(|i| (i % 256) as u8).collect();
+        assert_eq!(m.as_ref(), &expect[..]);
+        assert_eq!(m.freeze().chunk(), &expect[..]);
+    }
+
+    #[test]
+    fn disabling_the_pool_forces_fresh_allocations() {
+        pool::reset();
+        let was = pool::set_enabled(false);
+        let m = BytesMut::with_capacity(1000);
+        drop(m.freeze());
+        let m2 = BytesMut::with_capacity(1000);
+        drop(m2);
+        let stats = pool::stats();
+        assert_eq!(stats.misses, 2, "no freelist reuse while disabled");
+        assert_eq!(stats.freelist_hits, 0);
+        assert_eq!(stats.resident, 0);
+        pool::set_enabled(was);
+        pool::reset();
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        pool::reset();
+        let cap = pool::MAX_RECYCLED_CAPACITY + 1;
+        let mut m = BytesMut::with_capacity(cap);
+        m.resize(cap, 0);
+        drop(m.freeze());
+        assert_eq!(pool::stats().resident, 0, "monster buffers must be freed");
+        assert_eq!(pool::stats().discarded, 1);
+        pool::reset();
+    }
+
+    #[test]
+    fn hit_rate_reflects_served_requests() {
+        pool::reset();
+        assert_eq!(pool::stats().hit_rate(), 1.0, "vacuous before any serve");
+        drop(BytesMut::with_capacity(10)); // inline hit
+        drop(BytesMut::with_capacity(100)); // recycled on drop
+        drop(BytesMut::with_capacity(100)); // freelist hit
+        let stats = pool::stats();
+        assert_eq!(stats.served(), 3);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        pool::reset();
+    }
+
+    #[test]
+    fn mutation_through_deref_mut_sticks() {
+        let mut m = BytesMut::with_capacity(30);
+        m.extend_from_slice(&[0u8; 30]);
+        m[10..12].copy_from_slice(&[0xDE, 0xAD]);
+        assert_eq!(&m.freeze()[10..12], &[0xDE, 0xAD]);
+        let mut big = BytesMut::with_capacity(300);
+        big.resize(300, 0);
+        big[299] = 0xFF;
+        assert_eq!(big.freeze()[299], 0xFF);
     }
 }
