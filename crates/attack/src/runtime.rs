@@ -35,6 +35,17 @@ pub enum RuntimeScenario {
     },
 }
 
+impl RuntimeScenario {
+    /// A stable machine-readable name for records and campaign streams
+    /// ("known-upstreams" for P1, "refid-discovery" for P2).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeScenario::KnownUpstreams { .. } => "known-upstreams",
+            RuntimeScenario::RefidDiscovery { .. } => "refid-discovery",
+        }
+    }
+}
+
 /// Counters exposed by the [`RuntimeAttacker`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeStats {

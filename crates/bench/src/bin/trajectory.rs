@@ -9,14 +9,22 @@
 //! events/sec) to the workspace root; CI uploads it per PR next to
 //! `BENCH_engine.json`.
 //!
-//! The runner validates its own JSON output (and `BENCH_engine.json`, if
-//! present) with the dependency-free validator in `bench::json` and exits
-//! non-zero on any malformation or panic — that is the CI gate.
+//! It then closes the remaining trajectory gap: the `measure` scans
+//! (fig5, table5_adstudy, ratelimit) are driven through the `campaign`
+//! scenario registry — the same per-trial entry points the sharded
+//! campaigns run — timed, digested, and written as `BENCH_measure.json`.
+//!
+//! The runner validates every JSON artifact it writes (and
+//! `BENCH_engine.json`, if present) with the dependency-free validator in
+//! `bench::json` and exits non-zero on any malformation or panic — that
+//! is the CI gate.
 //!
 //! Run with: `cargo run --release -p bench --bin trajectory`
 
 use std::time::Instant;
 
+use campaign::prelude::*;
+use campaign::record::encode_line;
 use timeshift::prelude::*;
 
 /// One timed scenario measurement.
@@ -114,6 +122,53 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json");
     std::fs::write(path, &json).expect("write BENCH_scenarios.json");
     println!("wrote {path}");
+
+    // ---- measure-scan trajectory, through the campaign registry ----
+    //
+    // One registry walk covers the three scans that previously ran only
+    // under `cargo test`: each trial goes through the same
+    // `Campaign::run_trial` entry point the sharded campaigns use, and
+    // the stream digest is recorded so the artifact also pins scan
+    // *results*, not just throughput.
+    println!("\nmeasure-scan trajectory (campaign registry at Scale::quick())\n");
+    let mut scans = String::new();
+    for (i, name) in ["fig5", "table5_adstudy", "ratelimit"].iter().enumerate() {
+        let scenario = campaign::registry::find(name).expect("registered scenario");
+        let built = scenario.build(scale);
+        let trials = built.trials();
+        let start = Instant::now();
+        let indices: Vec<usize> = (0..trials).collect();
+        let lines = TrialRunner::new(scale.workers)
+            .run(&indices, |_, &idx| encode_line(scenario.schema, &built.run_trial(idx)));
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut digest = Digest::new();
+        for line in &lines {
+            digest.update_line(line);
+        }
+        println!(
+            "{name:<15} {trials:5} trials in {elapsed:8.3}s  ({:.2} trials/sec)  digest {}",
+            trials as f64 / elapsed.max(1e-9),
+            digest.hex()
+        );
+        if i > 0 {
+            scans.push_str(",\n");
+        }
+        scans.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"trials\": {trials}, \"elapsed_secs\": {elapsed:.6}, \
+             \"trials_per_sec\": {:.3}, \"digest\": \"{}\" }}",
+            trials as f64 / elapsed.max(1e-9),
+            digest.hex()
+        ));
+    }
+    let measure_json = format!(
+        "{{\n  \"bench\": \"measure\",\n  \"scale\": \"quick\",\n  \"workers\": {},\n  \
+         \"scans\": [\n{}\n  ]\n}}\n",
+        scale.workers, scans,
+    );
+    bench::json::validate(&measure_json).expect("BENCH_measure.json must be well-formed JSON");
+    let measure_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_measure.json");
+    std::fs::write(measure_path, &measure_json).expect("write BENCH_measure.json");
+    println!("wrote {measure_path}");
 
     // Cross-check the sibling artifact when the engine smoke ran first.
     let engine_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -1,0 +1,294 @@
+//! Shard checkpoint files: the durable record streams a campaign is
+//! resumed and merged from.
+//!
+//! Layout: the campaign directory holds one `shard-<k>.ndjson` per shard
+//! (plus `summary.json` once the coordinator has merged). A checkpoint
+//! file contains **only** complete, schema-conforming record lines —
+//! nothing else — so concatenating the files in shard order *is* the
+//! merged campaign stream.
+//!
+//! Crash safety: workers append one line per completed trial with a flush
+//! per record. A worker killed mid-write can leave a torn final line;
+//! [`recover`] validates every line against the schema and rewrites the
+//! file to its longest valid prefix before the shard is resumed, so a
+//! resumed stream is byte-identical to an uninterrupted one.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, Read as _, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{decode_line, Schema};
+
+/// The checkpoint file for shard `k`.
+pub fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.ndjson"))
+}
+
+/// The merged-summary path for a campaign directory.
+pub fn summary_path(dir: &Path) -> PathBuf {
+    dir.join("summary.json")
+}
+
+/// The campaign-manifest path: which campaign this directory's
+/// checkpoints belong to.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.json")
+}
+
+fn render_manifest(scenario: &str, scale_spec: &str, shards: usize) -> String {
+    format!(
+        "{{ \"campaign\": \"{scenario}\", \"scale_spec\": \"{scale_spec}\", \
+         \"shards\": {shards} }}\n"
+    )
+}
+
+/// Guards resume against a mismatched directory: a shard checkpoint is
+/// only a valid prefix of the *same* campaign (scenario, full scale spec
+/// including the master seed, and shard plan). On the first run this
+/// writes the manifest; on a rerun it compares and refuses any mismatch —
+/// otherwise old shard files would be silently reinterpreted under the new
+/// plan, duplicating some global indices and dropping others.
+///
+/// # Errors
+///
+/// I/O failures, a manifest mismatch, or checkpoints with no manifest.
+pub fn check_manifest(
+    dir: &Path,
+    scenario: &str,
+    scale_spec: &str,
+    shards: usize,
+) -> Result<(), String> {
+    let path = manifest_path(dir);
+    let want = render_manifest(scenario, scale_spec, shards);
+    match fs::read_to_string(&path) {
+        Ok(found) if found == want => Ok(()),
+        Ok(found) => Err(format!(
+            "{}: this directory belongs to a different campaign\n  found:    {}  expected: {}\
+             rerun with --fresh or a new --out",
+            dir.display(),
+            found,
+            want
+        )),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // No manifest: only adopt the directory if it has no shard
+            // checkpoints of unknown provenance.
+            if let Some(stray) = existing_shard_files(dir)?.first() {
+                return Err(format!(
+                    "{}: found checkpoint {} but no manifest — not resuming a directory of \
+                     unknown provenance; rerun with --fresh or a new --out",
+                    dir.display(),
+                    stray.display()
+                ));
+            }
+            fs::write(&path, want).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn existing_shard_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("shard-") && name.ends_with(".ndjson") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Validates a shard checkpoint and returns how many complete records it
+/// already holds. A trailing torn or foreign line (interrupted worker) is
+/// discarded by rewriting the file to its longest valid prefix; an invalid
+/// line *followed by further lines* is an error — that is not a torn
+/// tail, it is a corrupt or mismatched checkpoint (e.g. a stale directory
+/// from a different scenario or scale).
+///
+/// # Errors
+///
+/// I/O failures and mid-file corruption.
+pub fn recover(path: &Path, schema: &Schema) -> Result<usize, String> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut reader = BufReader::new(file);
+    let mut valid = 0usize;
+    let mut valid_bytes = 0u64;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| format!("{}: {e}", path.display()))?;
+        if n == 0 {
+            break;
+        }
+        let complete = line.ends_with('\n');
+        let body = line.trim_end_matches('\n');
+        if complete && decode_line(schema, body).is_ok() {
+            valid += 1;
+            valid_bytes += n as u64;
+            continue;
+        }
+        // First invalid or unterminated line: only acceptable at the tail.
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !rest.is_empty() {
+            return Err(format!(
+                "{}: corrupt record at line {} (not a torn tail) — refusing to resume; \
+                 delete the campaign directory or rerun with --fresh",
+                path.display(),
+                valid + 1
+            ));
+        }
+        // Torn tail: drop it.
+        drop(reader);
+        truncate_to(path, valid_bytes)?;
+        return Ok(valid);
+    }
+    Ok(valid)
+}
+
+fn truncate_to(path: &Path, len: u64) -> Result<(), String> {
+    let file =
+        File::options().write(true).open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    file.set_len(len).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// An append-mode writer for one shard's checkpoint, flushing per record
+/// so every completed trial survives a kill.
+pub struct Appender {
+    file: File,
+}
+
+impl Appender {
+    /// Opens (creating if absent) the shard checkpoint for appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn open(path: &Path) -> Result<Appender, String> {
+        let file = File::options()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Appender { file })
+    }
+
+    /// Appends one record line (adds the newline) and flushes it to the
+    /// OS so the record is durable against a process kill.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_line(&mut self, line: &str) -> Result<(), String> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.file.write_all(&buf).map_err(|e| e.to_string())?;
+        self.file.flush().map_err(|e| e.to_string())
+    }
+}
+
+/// Removes a campaign directory's shard checkpoints (all of them,
+/// whatever shard plan wrote them), manifest and summary — the `--fresh`
+/// path. Missing files are fine.
+///
+/// # Errors
+///
+/// I/O failures other than "not found".
+pub fn wipe(dir: &Path) -> Result<(), String> {
+    for path in existing_shard_files(dir)? {
+        remove_if_present(&path)?;
+    }
+    remove_if_present(&manifest_path(dir))?;
+    remove_if_present(&summary_path(dir))?;
+    Ok(())
+}
+
+fn remove_if_present(path: &Path) -> Result<(), String> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{encode_line, Field, FieldKind, Record, Value};
+
+    const SCHEMA: &Schema = &[Field { name: "x", kind: FieldKind::U64 }];
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("campaign-ckpt-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn line(x: u64) -> String {
+        encode_line(SCHEMA, &Record(vec![Value::U64(x)]))
+    }
+
+    #[test]
+    fn append_then_recover_counts_records() {
+        let dir = tmp("count");
+        let path = shard_path(&dir, 0);
+        let mut a = Appender::open(&path).expect("open");
+        for x in 0..5 {
+            a.append_line(&line(x)).expect("append");
+        }
+        drop(a);
+        assert_eq!(recover(&path, SCHEMA).expect("recover"), 5);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_resume_appends_cleanly() {
+        let dir = tmp("torn");
+        let path = shard_path(&dir, 1);
+        let mut a = Appender::open(&path).expect("open");
+        a.append_line(&line(1)).expect("append");
+        drop(a);
+        // Simulate a kill mid-write: a partial line without newline.
+        let mut f = File::options().append(true).open(&path).expect("open");
+        f.write_all(b"{\"x\":4").expect("tear");
+        drop(f);
+        assert_eq!(recover(&path, SCHEMA).expect("recover"), 1);
+        // The file is now exactly the valid prefix; appending resumes it.
+        let mut a = Appender::open(&path).expect("reopen");
+        a.append_line(&line(2)).expect("append");
+        drop(a);
+        let content = fs::read_to_string(&path).expect("read");
+        assert_eq!(content, format!("{}\n{}\n", line(1), line(2)));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_refuses_to_resume() {
+        let dir = tmp("corrupt");
+        let path = shard_path(&dir, 2);
+        fs::write(&path, format!("{}\ngarbage\n{}\n", line(1), line(2))).expect("write");
+        let err = recover(&path, SCHEMA).expect_err("must refuse");
+        assert!(err.contains("line 2"), "{err}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_zero_records() {
+        let dir = tmp("missing");
+        assert_eq!(recover(&shard_path(&dir, 9), SCHEMA).expect("recover"), 0);
+        fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,410 @@
+//! The shard planner + executor: splits a campaign's trial index space
+//! into K contiguous shards ([`runner::shard_range`]) and runs them either
+//! on in-process worker threads or as spawned child processes of the same
+//! binary (`campaign worker --shard k/K`), each shard appending its record
+//! stream to its own checkpoint file.
+//!
+//! Both modes produce byte-identical checkpoints: a trial's record is a
+//! pure function of `(scenario, scale, master seed, global index)`, and a
+//! shard's file is its records in index order. Subprocess workers
+//! additionally stream every record line over their stdout pipe, which
+//! the coordinator drains for live progress (the checkpoint file stays
+//! the durable copy the merge reads).
+//!
+//! Resume: before running anything the executor recovers every shard
+//! checkpoint ([`checkpoint::recover`]) and restarts each shard at its
+//! first missing index — an interrupted campaign continues where it
+//! stopped and ends with the same digest as an uninterrupted one.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use runner::{shard_range, TrialRunner};
+use timeshift::experiments::Scale;
+
+use crate::checkpoint::{self, Appender};
+use crate::record::encode_line;
+use crate::registry::Scenario;
+use crate::summary::{self, Summary};
+
+/// How shards execute.
+#[derive(Debug, Clone)]
+pub enum ExecMode {
+    /// Shard workers are scoped threads in this process.
+    InProcess,
+    /// Shard workers are child processes running `<exe> worker …`.
+    /// The binary at `exe` must be the `campaign` CLI (tests pass
+    /// `env!("CARGO_BIN_EXE_campaign")`, the CLI passes itself).
+    Subprocess {
+        /// Path to the `campaign` binary.
+        exe: PathBuf,
+    },
+}
+
+/// A fully-specified campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The registered scenario to run.
+    pub scenario: &'static Scenario,
+    /// Population sizing + master seed (`scale.seed`).
+    pub scale: Scale,
+    /// Label recorded in the summary ("quick" / "paper" / "custom").
+    pub scale_label: String,
+    /// Shard count K (0 is clamped to 1).
+    pub shards: usize,
+    /// Max shards in flight at once (0 is clamped to 1).
+    pub workers: usize,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Campaign directory (checkpoints + summary).
+    pub dir: PathBuf,
+    /// Print per-shard progress to stderr.
+    pub verbose: bool,
+}
+
+impl CampaignConfig {
+    /// A quiet in-process config with `shards` == `workers` — what the
+    /// tests and the example use.
+    pub fn in_process(
+        scenario: &'static Scenario,
+        scale: Scale,
+        shards: usize,
+        dir: PathBuf,
+    ) -> Self {
+        CampaignConfig {
+            scenario,
+            scale,
+            scale_label: "custom".into(),
+            shards,
+            workers: shards,
+            mode: ExecMode::InProcess,
+            dir,
+            verbose: false,
+        }
+    }
+}
+
+/// Runs (or resumes) a campaign end to end: plan shards, recover
+/// checkpoints, execute unfinished shards, then merge + aggregate into a
+/// [`Summary`] (also written as `summary.json` in the campaign dir).
+///
+/// # Errors
+///
+/// Planning, I/O, worker, or merge failures.
+pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, String> {
+    let shards = config.shards.max(1);
+    std::fs::create_dir_all(&config.dir).map_err(|e| format!("{}: {e}", config.dir.display()))?;
+    // A checkpoint is only a resumable prefix of THIS campaign: refuse the
+    // directory if its manifest names a different scenario, scale, seed or
+    // shard plan (shard files would otherwise be silently reinterpreted
+    // under the new plan, duplicating and dropping records).
+    checkpoint::check_manifest(
+        &config.dir,
+        config.scenario.name,
+        &scale_spec(&config.scale),
+        shards,
+    )?;
+    let built = config.scenario.build(config.scale);
+    let total = built.trials();
+    let ranges: Vec<_> = (0..shards).map(|k| shard_range(total, k, shards)).collect();
+
+    // Recover checkpoints: how far is each shard already?
+    let mut pending: Vec<(usize, std::ops::Range<usize>, usize)> = Vec::new();
+    for (k, range) in ranges.iter().enumerate() {
+        let planned = range.end - range.start;
+        let done =
+            checkpoint::recover(&checkpoint::shard_path(&config.dir, k), config.scenario.schema)?;
+        if done > planned {
+            return Err(format!(
+                "shard {k}: checkpoint has {done} records but only {planned} are planned — \
+                 stale campaign directory? rerun with --fresh or a new --out"
+            ));
+        }
+        if done < planned {
+            if config.verbose && done > 0 {
+                eprintln!("shard {k}: resuming at record {done}/{planned}");
+            }
+            pending.push((k, range.clone(), done));
+        }
+    }
+
+    match &config.mode {
+        ExecMode::InProcess => {
+            // One population build shared by every shard thread.
+            let campaign = &*built;
+            let results = TrialRunner::new(config.workers.max(1)).run(
+                &pending,
+                |_, (k, range, done)| -> Result<(), String> {
+                    run_shard_in_process(config, campaign, *k, range.clone(), *done)
+                },
+            );
+            for r in results {
+                r?;
+            }
+        }
+        ExecMode::Subprocess { exe } => {
+            run_subprocess_shards(config, exe, shards, &pending)?;
+        }
+    }
+
+    summary::merge(config.scenario, &config.scale_label, config.scale.seed, &config.dir, &ranges)
+}
+
+/// One in-flight subprocess worker: shard index, records expected from
+/// its stream, the child process, and its stdout drain thread.
+type ActiveWorker =
+    (usize, usize, std::process::Child, std::thread::JoinHandle<Result<usize, String>>);
+
+/// Runs the pending shards as `campaign worker` children, keeping up to
+/// `workers` in flight and backfilling each freed slot immediately (no
+/// wave barriers — resume makes shard sizes uneven, and a nearly-empty
+/// shard must not hold a slot hostage). Each child's stdout is drained on
+/// its own thread so no worker ever stalls on a full pipe. On any
+/// failure, every still-running child is killed and reaped before the
+/// error returns — an orphan worker appending to a checkpoint that a
+/// rerun will also write would interleave two record streams.
+fn run_subprocess_shards(
+    config: &CampaignConfig,
+    exe: &Path,
+    shards: usize,
+    pending: &[(usize, std::ops::Range<usize>, usize)],
+) -> Result<(), String> {
+    let workers = config.workers.max(1);
+    let mut queue = pending.iter();
+    let mut active: Vec<ActiveWorker> = Vec::new();
+    let mut first_err: Option<String> = None;
+    loop {
+        if let Some(e) = first_err.take() {
+            for (_, _, mut child, drain) in active.drain(..) {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = drain.join();
+            }
+            return Err(e);
+        }
+        // Keep the slots full.
+        while active.len() < workers {
+            let Some((k, range, done)) = queue.next() else { break };
+            let expected = range.end - range.start - done;
+            match spawn_worker(config, exe, *k, shards, *done) {
+                Ok(mut child) => match child.stdout.take() {
+                    Some(stdout) => {
+                        let (k, verbose) = (*k, config.verbose);
+                        let drain =
+                            std::thread::spawn(move || drain_stream(stdout, k, expected, verbose));
+                        active.push((k, expected, child, drain));
+                    }
+                    None => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        first_err = Some(format!("shard {k}: no stdout"));
+                    }
+                },
+                Err(e) => first_err = Some(e),
+            }
+            if first_err.is_some() {
+                break;
+            }
+        }
+        if first_err.is_some() {
+            continue; // kill + return above
+        }
+        if active.is_empty() {
+            return Ok(());
+        }
+        // Reap the next finished worker: its drain thread ends at stream
+        // EOF, i.e. when the child exits.
+        if let Some(i) = active.iter().position(|(_, _, _, drain)| drain.is_finished()) {
+            let (k, expected, mut child, drain) = active.swap_remove(i);
+            let outcome = (|| {
+                let streamed =
+                    drain.join().map_err(|_| format!("shard {k}: drain thread panicked"))??;
+                let status = child.wait().map_err(|e| format!("shard {k}: wait: {e}"))?;
+                if !status.success() {
+                    return Err(format!("shard {k}: worker exited with {status}"));
+                }
+                if streamed != expected {
+                    return Err(format!(
+                        "shard {k}: worker streamed {streamed} records, expected {expected}"
+                    ));
+                }
+                Ok(())
+            })();
+            if let Err(e) = outcome {
+                first_err = Some(e);
+            }
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+}
+
+fn run_shard_in_process(
+    config: &CampaignConfig,
+    campaign: &dyn crate::registry::Campaign,
+    k: usize,
+    range: std::ops::Range<usize>,
+    done: usize,
+) -> Result<(), String> {
+    let mut out = Appender::open(&checkpoint::shard_path(&config.dir, k))?;
+    for idx in range.start + done..range.end {
+        let record = campaign.run_trial(idx);
+        out.append_line(&encode_line(config.scenario.schema, &record))?;
+    }
+    if config.verbose {
+        eprintln!("shard {k}: complete ({} records)", range.end - range.start);
+    }
+    Ok(())
+}
+
+fn spawn_worker(
+    config: &CampaignConfig,
+    exe: &Path,
+    k: usize,
+    shards: usize,
+    skip: usize,
+) -> Result<std::process::Child, String> {
+    Command::new(exe)
+        .arg("worker")
+        .arg("--scenario")
+        .arg(config.scenario.name)
+        .arg("--shard")
+        .arg(format!("{k}/{shards}"))
+        .arg("--skip")
+        .arg(skip.to_string())
+        .arg("--checkpoint")
+        .arg(checkpoint::shard_path(&config.dir, k))
+        .arg("--scale-spec")
+        .arg(scale_spec(&config.scale))
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn worker for shard {k}: {e}"))
+}
+
+/// Drains a worker's stdout record stream, counting lines (the live
+/// progress channel — the durable copy is the checkpoint file). Runs on
+/// its own thread per child so no worker blocks on a full pipe.
+fn drain_stream(
+    stdout: std::process::ChildStdout,
+    k: usize,
+    expected: usize,
+    verbose: bool,
+) -> Result<usize, String> {
+    let reader = BufReader::new(stdout);
+    let mut streamed = 0usize;
+    let tick = (expected / 4).max(1);
+    for line in reader.lines() {
+        line.map_err(|e| format!("shard {k}: read: {e}"))?;
+        streamed += 1;
+        if verbose && streamed.is_multiple_of(tick) {
+            eprintln!("shard {k}: {streamed}/{expected} records streamed");
+        }
+    }
+    Ok(streamed)
+}
+
+/// The worker-process entry point: runs shard `k` of `shards`, skipping
+/// the first `skip` already-checkpointed trials, appending each record to
+/// `checkpoint` and echoing it on stdout (the coordinator's stream).
+///
+/// # Errors
+///
+/// Unknown scenario, bad shard spec, or I/O failures.
+pub fn run_worker(
+    scenario: &'static Scenario,
+    scale: Scale,
+    k: usize,
+    shards: usize,
+    skip: usize,
+    checkpoint_path: &Path,
+) -> Result<(), String> {
+    if k >= shards {
+        return Err(format!("shard {k}/{shards} out of range"));
+    }
+    let campaign = scenario.build(scale);
+    let range = shard_range(campaign.trials(), k, shards);
+    if range.start + skip > range.end {
+        return Err(format!("skip {skip} exceeds shard range {range:?}"));
+    }
+    let mut out = Appender::open(checkpoint_path)?;
+    let stdout = std::io::stdout();
+    for idx in range.start + skip..range.end {
+        let line = encode_line(scenario.schema, &campaign.run_trial(idx));
+        out.append_line(&line)?;
+        use std::io::Write as _;
+        let mut lock = stdout.lock();
+        lock.write_all(line.as_bytes())
+            .and_then(|()| lock.write_all(b"\n"))
+            .map_err(|e| e.to_string())?;
+        lock.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Parses a `--scale-spec` string
+/// (`resolvers,domains,ad_fraction,shared,pool_servers,workers,seed`) —
+/// the coordinator↔worker wire form of [`Scale`]. `ad_fraction` uses
+/// Rust's shortest round-trip float formatting, so the worker reconstructs
+/// the coordinator's scale bit-for-bit.
+///
+/// # Errors
+///
+/// Malformed spec.
+pub fn parse_scale_spec(spec: &str) -> Result<Scale, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 7 {
+        return Err(format!("scale spec needs 7 fields, got {}", parts.len()));
+    }
+    let err = |field: &str, e: String| format!("scale spec {field}: {e}");
+    Ok(Scale {
+        resolvers: parts[0]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| err("resolvers", e.to_string()))?,
+        domains: parts[1]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| err("domains", e.to_string()))?,
+        ad_fraction: parts[2]
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| err("ad_fraction", e.to_string()))?,
+        shared: parts[3]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| err("shared", e.to_string()))?,
+        pool_servers: parts[4]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| err("pool_servers", e.to_string()))?,
+        workers: parts[5]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| err("workers", e.to_string()))?,
+        seed: parts[6].parse().map_err(|e: std::num::ParseIntError| err("seed", e.to_string()))?,
+    })
+}
+
+/// Renders the `--scale-spec` wire form of a [`Scale`].
+pub fn scale_spec(s: &Scale) -> String {
+    format!(
+        "{},{},{},{},{},{},{}",
+        s.resolvers, s.domains, s.ad_fraction, s.shared, s.pool_servers, s.workers, s.seed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_spec_round_trips() {
+        let scale = Scale { ad_fraction: 0.030_000_000_000_000_2, ..Scale::quick() };
+        let back = parse_scale_spec(&scale_spec(&scale)).expect("parses");
+        assert_eq!(back.resolvers, scale.resolvers);
+        assert_eq!(back.ad_fraction.to_bits(), scale.ad_fraction.to_bits());
+        assert_eq!(back.seed, scale.seed);
+    }
+
+    #[test]
+    fn scale_spec_rejects_malformed_input() {
+        assert!(parse_scale_spec("1,2,3").is_err());
+        assert!(parse_scale_spec("a,2,0.5,4,5,6,7").is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! # campaign — sharded, streaming, resumable campaign orchestration
+//!
+//! The paper's results are Monte-Carlo campaigns; this crate is the layer
+//! that runs them at scale, the way Internet-wide scan pipelines do: a
+//! coordinator fans deterministic seed-range shards to workers, workers
+//! stream newline-delimited JSON records, and the coordinator merges the
+//! streams in shard order and aggregates online.
+//!
+//! * [`registry`] — every reproducible artifact addressable by name
+//!   (`table1`, `table2`, `fig5`, `fig6`, `fig7`, `table4_snoop`,
+//!   `table5_adstudy`, `ratelimit`, `pmtud`, `chronos_bound`), each with
+//!   a typed record [`record::Schema`] and per-trial entry point;
+//! * [`exec`] — the shard planner + executor: contiguous index-range
+//!   shards ([`runner::shard_range`]) run on in-process threads or as
+//!   `campaign worker --shard k/K` child processes;
+//! * [`checkpoint`] — per-shard append-only NDJSON checkpoints with
+//!   torn-tail recovery: an interrupted campaign resumes at its first
+//!   missing record;
+//! * [`summary`] — the deterministic merge + [`stats`] online aggregation
+//!   (Welford moments, P² quantiles, Wilson intervals) in O(1) memory;
+//! * [`digest`] — the FNV-1a stream digest that pins it all down: equal
+//!   for any shard count, worker schedule, in-process vs. subprocess
+//!   execution, and interrupt + resume.
+//!
+//! ```
+//! use campaign::prelude::*;
+//! use timeshift::experiments::Scale;
+//!
+//! let scenario = campaign::registry::find("chronos_bound").expect("registered");
+//! let dir = std::env::temp_dir().join(format!("campaign-doc-{}", std::process::id()));
+//! let summary =
+//!     run_campaign(&CampaignConfig::in_process(scenario, Scale::quick(), 3, dir.clone()))
+//!         .expect("campaign runs");
+//! assert_eq!(summary.records, 24);
+//! std::fs::remove_dir_all(dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod digest;
+pub mod exec;
+pub mod record;
+pub mod registry;
+pub mod stats;
+pub mod summary;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::digest::Digest;
+    pub use crate::exec::{run_campaign, CampaignConfig, ExecMode};
+    pub use crate::record::{Field, FieldKind, Record, Schema, Value};
+    pub use crate::registry::{self, Campaign, Scenario};
+    pub use crate::stats::{wilson95, Aggregate, P2Quantile, Welford};
+    pub use crate::summary::Summary;
+}

@@ -1,0 +1,183 @@
+//! The `campaign` CLI: named-scenario campaigns, sharded and resumable.
+//!
+//! ```sh
+//! campaign list                          # registered scenarios
+//! campaign run table2 --shards 4         # 4 in-process shard threads
+//! campaign run fig6 --shards 4 --subprocess --workers 2
+//! campaign run fig5 --paper --master-seed 7 --out runs/fig5
+//! campaign worker …                      # internal: spawned by --subprocess
+//! ```
+//!
+//! `run` resumes automatically: if the campaign directory already holds
+//! shard checkpoints, only the missing records are computed, and the final
+//! digest is bit-identical to an uninterrupted run. `--fresh` wipes the
+//! directory's checkpoints first.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use campaign::exec::{self, CampaignConfig, ExecMode};
+use campaign::{checkpoint, registry};
+use timeshift::experiments::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: campaign <list | run <scenario> [options] | worker …>\n\
+                 run options: [--shards K] [--workers N] [--master-seed S] [--paper]\n\
+                 \x20            [--subprocess] [--out DIR] [--fresh] [--quiet]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("registered scenarios:");
+    for s in registry::all() {
+        let quick = s.build(Scale::quick()).trials();
+        println!("  {:<15} {:>6} quick trials  {}", s.name, quick, s.about);
+    }
+    Ok(())
+}
+
+struct Parsed {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Splits args into positionals and `--flag [value]` pairs. Value-taking
+/// flags must be listed in `valued`, bare switches in `bare`; anything
+/// else is an error — a misspelled flag must never fall through to a
+/// silently-default campaign (the whole tool is about reproducible runs).
+fn parse_args(args: &[String], valued: &[&str], bare: &[&str]) -> Result<Parsed, String> {
+    let mut parsed = Parsed { positional: Vec::new(), flags: Vec::new() };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if bare.contains(&name) {
+                parsed.flags.push((name.to_owned(), None));
+            } else if valued.contains(&name) {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                parsed.flags.push((name.to_owned(), Some(value.clone())));
+            } else {
+                return Err(format!(
+                    "unknown flag --{name} (valid: {})",
+                    valued
+                        .iter()
+                        .chain(bare)
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        } else {
+            parsed.positional.push(a.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let parsed = parse_args(
+        args,
+        &["shards", "workers", "master-seed", "out"],
+        &["paper", "subprocess", "fresh", "quiet"],
+    )?;
+    let [name] = parsed.positional.as_slice() else {
+        return Err("run takes exactly one scenario name (see `campaign list`)".into());
+    };
+    let scenario = registry::find(name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (see `campaign list`)"))?;
+
+    let paper = parsed.has("paper");
+    let mut scale = if paper { Scale::paper() } else { Scale::quick() };
+    scale.seed = parsed.parse("master-seed", scale.seed)?;
+    let scale_label = if paper { "paper" } else { "quick" };
+
+    let shards: usize = parsed.parse("shards", 4)?;
+    let shards = shards.max(1);
+    let default_workers =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
+    let workers: usize = parsed.parse("workers", shards.min(default_workers))?;
+
+    let dir = match parsed.flag("out") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(format!(
+            "target/campaign/{name}-{scale_label}-seed{}-x{shards}",
+            scale.seed
+        )),
+    };
+    if parsed.has("fresh") {
+        checkpoint::wipe(&dir)?;
+    }
+
+    let mode = if parsed.has("subprocess") {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        ExecMode::Subprocess { exe }
+    } else {
+        ExecMode::InProcess
+    };
+
+    let config = CampaignConfig {
+        scenario,
+        scale,
+        scale_label: scale_label.into(),
+        shards,
+        workers,
+        mode,
+        dir: dir.clone(),
+        verbose: !parsed.has("quiet"),
+    };
+    let summary = exec::run_campaign(&config)?;
+    print!("{}", summary.render_text());
+    println!("  summary: {}", checkpoint::summary_path(&dir).display());
+    Ok(())
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let parsed = parse_args(args, &["scenario", "shard", "skip", "checkpoint", "scale-spec"], &[])?;
+    let name = parsed.flag("scenario").ok_or("worker needs --scenario")?;
+    let scenario = registry::find(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
+    let scale =
+        exec::parse_scale_spec(parsed.flag("scale-spec").ok_or("worker needs --scale-spec")?)?;
+    let shard_spec = parsed.flag("shard").ok_or("worker needs --shard k/K")?;
+    let (k, shards) = shard_spec
+        .split_once('/')
+        .and_then(|(k, n)| Some((k.parse().ok()?, n.parse().ok()?)))
+        .ok_or_else(|| format!("bad --shard {shard_spec:?} (expected k/K)"))?;
+    let skip: usize = parsed.parse("skip", 0)?;
+    let checkpoint_path =
+        PathBuf::from(parsed.flag("checkpoint").ok_or("worker needs --checkpoint")?);
+    exec::run_worker(scenario, scale, k, shards, skip, &checkpoint_path)
+}

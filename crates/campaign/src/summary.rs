@@ -1,0 +1,172 @@
+//! Deterministic merge + online aggregation: the coordinator's final pass.
+//!
+//! After every shard's checkpoint is complete, the coordinator streams the
+//! shard files **in shard order** — which, with contiguous shard ranges,
+//! is exactly global trial order — feeding each line to the campaign
+//! digest and the per-field aggregators. Memory stays O(1) in the trial
+//! count: one line buffer, five P² markers per quantile, a handful of
+//! counters. The result is written as `summary.json` next to the shards.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::checkpoint;
+use crate::digest::Digest;
+use crate::record::decode_line;
+use crate::registry::Scenario;
+use crate::stats::Aggregate;
+
+/// One shard's slice of the merged stream.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Records the shard contributed.
+    pub records: usize,
+    /// Digest of the shard's own stream.
+    pub digest: String,
+}
+
+/// The merged result of a campaign run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Scale label ("quick" / "paper" / "custom").
+    pub scale_label: String,
+    /// Master seed.
+    pub master_seed: u64,
+    /// Shard count.
+    pub shards: usize,
+    /// Total records merged.
+    pub records: usize,
+    /// Digest of the merged stream — the campaign's identity.
+    pub digest: String,
+    /// Per-shard slices.
+    pub shard_summaries: Vec<ShardSummary>,
+    /// Online per-field aggregates.
+    pub aggregate: Aggregate,
+}
+
+impl Summary {
+    /// Renders `summary.json` (validated well-formed by the test suite).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\n  \"campaign\": \"{}\",\n  \"scale\": \"{}\",\n  \"master_seed\": {},\n  \
+             \"shards\": {},\n  \"records\": {},\n  \"digest\": \"{}\",\n  \"shard_digests\": [",
+            self.scenario,
+            self.scale_label,
+            self.master_seed,
+            self.shards,
+            self.records,
+            self.digest
+        );
+        for (i, s) in self.shard_summaries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{ \"shard\": {}, \"records\": {}, \"digest\": \"{}\" }}",
+                if i > 0 { "," } else { "" },
+                s.shard,
+                s.records,
+                s.digest
+            );
+        }
+        out.push_str("\n  ],\n  \"fields\": ");
+        out.push_str(&self.aggregate.render_json("    "));
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// A short human-readable report for the CLI.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "campaign {}  scale={}  seed={}  shards={}\n  records: {}\n  digest:  {}\n",
+            self.scenario,
+            self.scale_label,
+            self.master_seed,
+            self.shards,
+            self.records,
+            self.digest
+        );
+        for s in &self.shard_summaries {
+            out.push_str(&format!(
+                "  shard {:>2}: {:>7} records  {}\n",
+                s.shard, s.records, s.digest
+            ));
+        }
+        out
+    }
+}
+
+/// Streams the shard checkpoints in shard order through the digest and the
+/// aggregators, verifies counts against the plan, and writes
+/// `summary.json`.
+///
+/// # Errors
+///
+/// I/O failures, schema violations, or a shard whose record count does not
+/// match its planned range (an incomplete campaign).
+pub fn merge(
+    scenario: &'static Scenario,
+    scale_label: &str,
+    master_seed: u64,
+    dir: &Path,
+    ranges: &[std::ops::Range<usize>],
+) -> Result<Summary, String> {
+    let mut total_digest = Digest::new();
+    let mut aggregate = Aggregate::new(scenario.schema);
+    let mut shard_summaries = Vec::with_capacity(ranges.len());
+    let mut records = 0usize;
+    for (k, range) in ranges.iter().enumerate() {
+        let path = checkpoint::shard_path(dir, k);
+        let planned = range.end - range.start;
+        let mut shard_digest = Digest::new();
+        let mut count = 0usize;
+        if planned > 0 {
+            let file = File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let mut reader = BufReader::new(file);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n =
+                    reader.read_line(&mut line).map_err(|e| format!("{}: {e}", path.display()))?;
+                if n == 0 {
+                    break;
+                }
+                let body = line.strip_suffix('\n').ok_or_else(|| {
+                    format!("{}: torn final line (recover before merging)", path.display())
+                })?;
+                let record = decode_line(scenario.schema, body)
+                    .map_err(|e| format!("{} record {}: {e}", path.display(), count + 1))?;
+                total_digest.update_line(body);
+                shard_digest.update_line(body);
+                aggregate.push(&record);
+                count += 1;
+            }
+        }
+        if count != planned {
+            return Err(format!(
+                "shard {k}: {count} records, planned {planned} — campaign incomplete"
+            ));
+        }
+        records += count;
+        shard_summaries.push(ShardSummary { shard: k, records: count, digest: shard_digest.hex() });
+    }
+    let summary = Summary {
+        scenario: scenario.name,
+        scale_label: scale_label.to_owned(),
+        master_seed,
+        shards: ranges.len(),
+        records,
+        digest: total_digest.hex(),
+        shard_summaries,
+        aggregate,
+    };
+    std::fs::write(checkpoint::summary_path(dir), summary.render_json())
+        .map_err(|e| format!("write summary.json: {e}"))?;
+    Ok(summary)
+}

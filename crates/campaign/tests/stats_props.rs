@@ -1,0 +1,127 @@
+//! Property tests for the streaming aggregator: the online estimators
+//! must track exact batch computation — exactly for count/mean/extremes,
+//! within bounded error for the P² quantiles — and the record codec must
+//! round-trip arbitrary values.
+
+use campaign::prelude::*;
+use campaign::record::{decode_line, encode_line, opt};
+use campaign::stats::exact_quantile;
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford vs. exact batch: count and extremes exact, mean to within
+    /// float-fold tolerance, variance close.
+    #[test]
+    fn welford_matches_batch_computation(
+        samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..400),
+    ) {
+        let mut w = Welford::default();
+        for &x in &samples {
+            w.push(x);
+        }
+        prop_assert_eq!(w.count(), samples.len() as u64);
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), min);
+        prop_assert_eq!(w.max(), max);
+        prop_assert!((w.mean() - mean).abs() <= 1e-9 * (1.0 + mean.abs()),
+            "welford mean {} vs batch {}", w.mean(), mean);
+        prop_assert!((w.variance() - var).abs() <= 1e-6 * (1.0 + var.abs()),
+            "welford var {} vs batch {}", w.variance(), var);
+    }
+
+    /// P² quantile estimates vs. exact batch quantiles over uniform
+    /// samples: always inside the observed range, and within a bounded
+    /// error that tightens as the stream grows.
+    #[test]
+    fn p2_quantiles_track_batch_quantiles(
+        samples in proptest::collection::vec(0.0f64..1.0, 5..500),
+        p_sel in 0usize..3,
+    ) {
+        let p = [0.5, 0.9, 0.99][p_sel];
+        let mut q = P2Quantile::new(p);
+        for &x in &samples {
+            q.push(x);
+        }
+        let est = q.estimate().expect("samples seen");
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, p);
+        prop_assert!(est >= sorted[0] && est <= sorted[sorted.len() - 1],
+            "estimate {est} outside observed range");
+        // Error bound for uniform streams: generous at 5 samples,
+        // tightening with n (and looser for the extreme p99).
+        let n = samples.len() as f64;
+        let tolerance = (2.0 / n.sqrt() + 0.05) * if p > 0.95 { 2.0 } else { 1.0 };
+        prop_assert!((est - exact).abs() <= tolerance,
+            "p{}: estimate {est} vs exact {exact} (n={}, tol={tolerance})",
+            (p * 100.0) as u32, samples.len());
+    }
+
+    /// Small streams (at or below the five P² markers) are exactly the
+    /// batch nearest-rank quantile.
+    #[test]
+    fn p2_small_streams_are_exact(
+        samples in proptest::collection::vec(-50.0f64..50.0, 1..6),
+        p_sel in 0usize..3,
+    ) {
+        let p = [0.5, 0.9, 0.99][p_sel];
+        let mut q = P2Quantile::new(p);
+        for &x in &samples {
+            q.push(x);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(q.estimate().expect("seen"), exact_quantile(&sorted, p));
+    }
+
+    /// Wilson 95% intervals bracket the empirical rate and stay in [0,1].
+    #[test]
+    fn wilson_brackets_the_rate(successes in 0u64..500, extra in 0u64..500) {
+        let n = successes + extra;
+        let (lo, hi) = wilson95(successes, n);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi);
+        if n > 0 {
+            let rate = successes as f64 / n as f64;
+            prop_assert!(lo <= rate && rate <= hi, "({lo}, {hi}) excludes {rate}");
+        }
+    }
+
+    /// Record lines round-trip arbitrary values bit-exactly.
+    #[test]
+    fn record_lines_round_trip(
+        flag in any::<bool>(),
+        count in any::<u64>(),
+        bits in any::<u64>(),
+        label in "[a-z\"\\\\ ]{0,12}",
+        null_mask in 0u8..16,
+    ) {
+        const SCHEMA: &Schema = &[
+            Field { name: "flag", kind: FieldKind::Bool },
+            Field { name: "count", kind: FieldKind::U64 },
+            Field { name: "x", kind: FieldKind::F64 },
+            Field { name: "label", kind: FieldKind::Str },
+        ];
+        // Arbitrary bit patterns can be NaN/inf (which encode as null by
+        // design); keep the float finite so equality is well-defined.
+        let x = f64::from_bits(bits);
+        let x = if x.is_finite() { x } else { 0.25 };
+        let pick = |i: u8, v: Value| if null_mask & (1 << i) != 0 { Value::Null } else { v };
+        let record = Record(vec![
+            pick(0, flag.into()),
+            pick(1, count.into()),
+            pick(2, x.into()),
+            pick(3, label.clone().into()),
+        ]);
+        let line = encode_line(SCHEMA, &record);
+        let back = decode_line(SCHEMA, &line)
+            .map_err(|e| TestCaseError(format!("{e} in {line}")))?;
+        prop_assert_eq!(back, record);
+        // And nullability helpers agree with the mask.
+        prop_assert_eq!(opt(None::<u64>), Value::Null);
+    }
+}

@@ -1,0 +1,54 @@
+//! The §VI-C pool-poisoning bound: how much of a Chronos server pool an
+//! off-path attacker controls after one poisoned DNS response, and when
+//! that crosses the algorithm's 2/3 security threshold.
+//!
+//! The pool is generated from 24 hourly DNS lookups; each honest lookup
+//! contributes 4 addresses, while the single poisoned response carries
+//! `malicious` addresses (89 in the paper, §VI-B: no per-response record
+//! cap). Chronos tolerates strictly less than 2/3 malicious servers, so
+//! the attack wins iff `malicious / (malicious + 4·N) ≥ 2/3` — i.e. iff
+//! poisoning lands by honest lookup `N ≤ 11` for 89 addresses.
+//!
+//! These closed forms live here (next to the client they bound) so both
+//! the `timeshift` analysis layer and the campaign scenario registry share
+//! one implementation.
+
+/// Attacker's fraction of the pool after `n_honest_lookups` honest lookups
+/// (4 addresses each) and one poisoned response with `malicious` addresses.
+pub fn attacker_fraction(n_honest_lookups: u32, malicious: u32) -> f64 {
+    let honest = 4 * n_honest_lookups;
+    f64::from(malicious) / f64::from(malicious + honest)
+}
+
+/// Whether the attack succeeds after `n_honest_lookups` honest lookups:
+/// the integer form of `2/3 · (malicious + 4N) ≤ malicious`.
+pub fn attack_succeeds(n_honest_lookups: u32, malicious: u32) -> bool {
+    2 * (malicious + 4 * n_honest_lookups) <= 3 * malicious
+}
+
+/// The largest `N` for which the attack still succeeds (the paper's
+/// headline: `N ≤ 11` for 89 malicious addresses).
+pub fn max_n(malicious: u32) -> u32 {
+    (0..=1000).take_while(|&n| attack_succeeds(n, malicious)).last().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bound_is_n_11() {
+        assert_eq!(max_n(89), 11);
+        assert!(attack_succeeds(11, 89));
+        assert!(!attack_succeeds(12, 89));
+        assert!(attacker_fraction(11, 89) >= 2.0 / 3.0);
+        assert!(attacker_fraction(12, 89) < 2.0 / 3.0);
+    }
+
+    #[test]
+    fn fraction_is_monotone_in_n() {
+        let fractions: Vec<f64> = (0..24).map(|n| attacker_fraction(n, 89)).collect();
+        assert!(fractions.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(fractions[0], 1.0, "no honest lookups: attacker owns the pool");
+    }
+}

@@ -9,7 +9,10 @@
 //!   record cap) modelled faithfully and toggleable;
 //! * [`algorithm`] — the sample/trim/agree algorithm and panic mode;
 //! * [`client`] — the full client host gluing both onto the simulated
-//!   network.
+//!   network;
+//! * [`bound`] — the §VI-C closed forms: attacker pool fraction after one
+//!   poisoned response and the 2/3 threshold (N ≤ 11), shared by the
+//!   `timeshift` analysis layer and the `campaign` scenario registry.
 //!
 //! ```
 //! use chronos::prelude::*;
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod bound;
 pub mod client;
 pub mod pool;
 

@@ -91,23 +91,22 @@ pub fn p2_monte_carlo(m: u32, n: u32, p: f64, trials: u32, seed: u64) -> f64 {
 /// §VI-C: after `n_honest_lookups` honest pool lookups (4 addresses each)
 /// and one poisoned response carrying `malicious` addresses, the attacker
 /// controls `malicious / (malicious + 4·N)` of the pool. Chronos falls when
-/// that is ≥ 2/3.
+/// that is ≥ 2/3. (The closed form lives in [`chronos::bound`], next to
+/// the client it bounds; this re-derivation point keeps the historic API.)
 pub fn chronos_attacker_fraction(n_honest_lookups: u32, malicious: u32) -> f64 {
-    let honest = 4 * n_honest_lookups;
-    f64::from(malicious) / f64::from(malicious + honest)
+    chronos::bound::attacker_fraction(n_honest_lookups, malicious)
 }
 
 /// Whether the Chronos attack succeeds after `n` honest lookups with the
 /// paper's 89-address response: `2/3 · (89 + 4N) ≤ 89`.
 pub fn chronos_attack_succeeds(n_honest_lookups: u32, malicious: u32) -> bool {
-    // Integer form of 2/3·(malicious + 4N) ≤ malicious:
-    2 * (malicious + 4 * n_honest_lookups) <= 3 * malicious
+    chronos::bound::attack_succeeds(n_honest_lookups, malicious)
 }
 
 /// The paper's headline bound: the largest N for which the attack still
 /// succeeds (N ≤ 11 for 89 malicious addresses).
 pub fn chronos_max_n(malicious: u32) -> u32 {
-    (0..=1000).take_while(|&n| chronos_attack_succeeds(n, malicious)).last().unwrap_or(0)
+    chronos::bound::max_n(malicious)
 }
 
 /// §IV-A: the number of spoofed fragments needed to keep one planted for a

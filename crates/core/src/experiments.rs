@@ -34,6 +34,37 @@ pub struct Scale {
     pub seed: u64,
 }
 
+/// Seed salts: each scan derives its population seed and its per-item
+/// scan-seed base by XOR-ing one of these into the master seed, so the
+/// streams are distinct but reproducible. The campaign scenario registry
+/// (`crates/campaign`) must derive the **same** trials as the drivers in
+/// this module, so both read these constants — never retype the numbers.
+pub mod salts {
+    /// Fig. 5 domain-nameserver population.
+    pub const FIG5_POP: u64 = 0xF5;
+    /// Fig. 5 per-nameserver scan seeds.
+    pub const FIG5_SCAN: u64 = 0xF55;
+    /// §VII-B pool-nameserver population.
+    pub const POOL_NS_POP: u64 = 0xB;
+    /// §VII-B per-nameserver scan seeds.
+    pub const POOL_NS_SCAN: u64 = 0xBB;
+    /// Table IV / Fig. 6 / Fig. 7 per-resolver scan seeds (the resolver
+    /// population uses the unsalted master seed).
+    pub const SNOOP_SCAN: u64 = 0xA;
+    /// Table V ad-client population.
+    pub const TABLE5_POP: u64 = 0x5;
+    /// Table V per-client scan seeds.
+    pub const TABLE5_SCAN: u64 = 0x55;
+    /// §VII-A pool-server population.
+    pub const RATELIMIT_POP: u64 = 0x7A;
+    /// §VII-A per-server scan seeds.
+    pub const RATELIMIT_SCAN: u64 = 0x7AA;
+    /// §VIII-B3 shared-resolver population.
+    pub const SHARED_POP: u64 = 0x8B;
+    /// §VIII-B3 scan seed.
+    pub const SHARED_SCAN: u64 = 0x8BB;
+}
+
 impl Scale {
     /// Small sizes for fast runs (seconds).
     pub fn quick() -> Self {
@@ -79,26 +110,31 @@ pub struct Table1Row {
     pub observed_boot_shift: f64,
 }
 
+/// One Table I row: the full boot-time attack against one client kind, in
+/// its own seeded simulation. A pure function of `(seed, kind)` — the
+/// campaign registry and the sweep below both call this.
+pub fn table1_row(seed: u64, kind: ClientKind) -> Table1Row {
+    let profile = ClientProfile::for_kind(kind);
+    let outcome = run_boot_time_attack(
+        ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
+        kind,
+    );
+    Table1Row {
+        client: kind.name(),
+        pool_share: kind.pool_share(),
+        boot_time: outcome.success,
+        run_time: profile.vulnerable_run_time(),
+        observed_boot_shift: outcome.observed_shift,
+    }
+}
+
 /// Table I: attack scenarios for popular NTP clients. Boot-time entries are
 /// verified by running the full attack in-simulator per client; the trials
 /// are independent, so they fan across `workers` threads and merge in
 /// client order — results are bit-identical for any worker count.
 pub fn table1(seed: u64, workers: usize) -> Vec<Table1Row> {
     let kinds = ClientKind::all();
-    TrialRunner::new(workers).run(&kinds, |_, &kind| {
-        let profile = ClientProfile::for_kind(kind);
-        let outcome = run_boot_time_attack(
-            ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
-            kind,
-        );
-        Table1Row {
-            client: kind.name(),
-            pool_share: kind.pool_share(),
-            boot_time: outcome.success,
-            run_time: profile.vulnerable_run_time(),
-            observed_boot_shift: outcome.observed_shift,
-        }
-    })
+    TrialRunner::new(workers).run(&kinds, |_, &kind| table1_row(seed, kind))
 }
 
 /// Formats Table I.
@@ -142,37 +178,83 @@ pub struct Table2Row {
     pub outcome: AttackOutcome,
 }
 
+/// One Table II case: which client is attacked, how the attacker learns
+/// its upstreams, and the paper's measured duration for comparison.
+#[derive(Debug, Clone)]
+pub struct Table2Case {
+    /// Client display name.
+    pub client: &'static str,
+    /// Client model under attack.
+    pub kind: ClientKind,
+    /// Upstream-discovery scenario (P1 known set / P2 refid probing).
+    pub scenario: RuntimeScenario,
+    /// Scenario label as printed in the table.
+    pub label: &'static str,
+    /// The paper's measured duration in minutes.
+    pub paper_mins: f64,
+}
+
+/// The four Table II cases, in the paper's row order.
+pub fn table2_cases() -> Vec<Table2Case> {
+    vec![
+        Table2Case {
+            client: "NTPd",
+            kind: ClientKind::Ntpd,
+            scenario: RuntimeScenario::RefidDiscovery {
+                probe_interval: SimDuration::from_secs(60),
+            },
+            label: "P2",
+            paper_mins: 47.0,
+        },
+        Table2Case {
+            client: "NTPd",
+            kind: ClientKind::Ntpd,
+            scenario: p1_scenario(),
+            label: "P1",
+            paper_mins: 17.0,
+        },
+        Table2Case {
+            client: "openntpd",
+            kind: ClientKind::OpenNtpd,
+            scenario: p1_scenario(),
+            label: "P1",
+            paper_mins: 84.0,
+        },
+        Table2Case {
+            client: "chrony",
+            kind: ClientKind::Chrony,
+            scenario: p1_scenario(),
+            label: "P1",
+            paper_mins: 57.0,
+        },
+    ]
+}
+
+/// One Table II row: the full end-to-end run-time attack for one case. A
+/// pure function of `(seed, case)` — the campaign registry and the sweep
+/// below both call this.
+pub fn table2_row(seed: u64, case: &Table2Case) -> Table2Row {
+    let outcome = run_runtime_attack(
+        ScenarioConfig { seed: seed ^ case.kind as u64, ..ScenarioConfig::default() },
+        case.kind,
+        case.scenario.clone(),
+    );
+    Table2Row {
+        client: case.client,
+        scenario: case.label,
+        duration_mins: outcome.duration_secs.map(|s| s / 60.0),
+        paper_mins: case.paper_mins,
+        outcome,
+    }
+}
+
 /// Table II: run-time attack durations. Each row is a full end-to-end
 /// simulation: convergence, rate-limit abuse, DNS poisoning, redirection,
 /// clock step. Rows are independent trials fanned across `workers` threads
 /// and merged in case order (bit-identical for any worker count).
 pub fn table2(seed: u64, workers: usize) -> Vec<Table2Row> {
-    let cases: [(&'static str, ClientKind, RuntimeScenario, &'static str, f64); 4] = [
-        (
-            "NTPd",
-            ClientKind::Ntpd,
-            RuntimeScenario::RefidDiscovery { probe_interval: SimDuration::from_secs(60) },
-            "P2",
-            47.0,
-        ),
-        ("NTPd", ClientKind::Ntpd, p1_scenario(), "P1", 17.0),
-        ("openntpd", ClientKind::OpenNtpd, p1_scenario(), "P1", 84.0),
-        ("chrony", ClientKind::Chrony, p1_scenario(), "P1", 57.0),
-    ];
-    TrialRunner::new(workers).run(&cases, |_, &(client, kind, ref scenario, label, paper_mins)| {
-        let outcome = run_runtime_attack(
-            ScenarioConfig { seed: seed ^ kind as u64, ..ScenarioConfig::default() },
-            kind,
-            scenario.clone(),
-        );
-        Table2Row {
-            client,
-            scenario: label,
-            duration_mins: outcome.duration_secs.map(|s| s / 60.0),
-            paper_mins,
-            outcome,
-        }
-    })
+    let cases = table2_cases();
+    TrialRunner::new(workers).run(&cases, |_, case| table2_row(seed, case))
 }
 
 fn p1_scenario() -> RuntimeScenario {
@@ -231,7 +313,7 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
 /// any worker count.
 pub fn resolver_survey(scale: Scale) -> SurveyResult {
     let population = open_resolvers(scale.resolvers, scale.seed);
-    measure::snoop::run_survey(&population, scale.seed ^ 0xA, scale.workers)
+    measure::snoop::run_survey(&population, scale.seed ^ salts::SNOOP_SCAN, scale.workers)
 }
 
 /// Formats Table IV from a survey.
@@ -289,8 +371,8 @@ pub fn format_fig7(survey: &SurveyResult) -> String {
 
 /// Runs the ad study.
 pub fn table5(scale: Scale) -> AdStudyResult {
-    let population = ad_clients_scaled(scale.seed ^ 0x5, scale.ad_fraction);
-    measure::adstudy::run_study(&population, scale.seed ^ 0x55, scale.workers)
+    let population = ad_clients_scaled(scale.seed ^ salts::TABLE5_POP, scale.ad_fraction);
+    measure::adstudy::run_study(&population, scale.seed ^ salts::TABLE5_SCAN, scale.workers)
 }
 
 /// Formats Table V.
@@ -319,14 +401,14 @@ pub fn format_table5(result: &AdStudyResult) -> String {
 
 /// Runs the 1M-domain PMTUD scan (scaled).
 pub fn fig5(scale: Scale) -> PmtudScanResult {
-    let population = domain_nameservers(scale.domains, scale.seed ^ 0xF5);
-    measure::pmtud::run_scan(&population, scale.seed ^ 0xF55, scale.workers)
+    let population = domain_nameservers(scale.domains, scale.seed ^ salts::FIG5_POP);
+    measure::pmtud::run_scan(&population, scale.seed ^ salts::FIG5_SCAN, scale.workers)
 }
 
 /// Runs the §VII-B pool-nameserver scan (30 NS).
 pub fn pool_ns_scan(scale: Scale) -> PmtudScanResult {
-    let population = pool_nameservers(scale.seed ^ 0xB);
-    measure::pmtud::run_scan(&population, scale.seed ^ 0xBB, scale.workers)
+    let population = pool_nameservers(scale.seed ^ salts::POOL_NS_POP);
+    measure::pmtud::run_scan(&population, scale.seed ^ salts::POOL_NS_SCAN, scale.workers)
 }
 
 /// Formats Fig. 5.
@@ -403,8 +485,8 @@ pub fn format_chronos_bound(rows: &[ChronosBoundRow]) -> String {
 
 /// Runs the rate-limiting scan.
 pub fn ratelimit_scan(scale: Scale) -> RateLimitScanResult {
-    let population = pool_servers(scale.pool_servers, scale.seed ^ 0x7A);
-    measure::ratelimit::run_scan(&population, scale.seed ^ 0x7AA, scale.workers)
+    let population = pool_servers(scale.pool_servers, scale.seed ^ salts::RATELIMIT_POP);
+    measure::ratelimit::run_scan(&population, scale.seed ^ salts::RATELIMIT_SCAN, scale.workers)
 }
 
 /// Formats the §VII-A scan.
@@ -429,8 +511,8 @@ pub fn format_ratelimit(result: &RateLimitScanResult) -> String {
 
 /// Runs the shared-resolver discovery study.
 pub fn shared_scan(scale: Scale) -> SharedScanResult {
-    let population = shared_resolvers(scale.shared, scale.seed ^ 0x8B);
-    measure::shared::run_scan(&population, scale.seed ^ 0x8BB)
+    let population = shared_resolvers(scale.shared, scale.seed ^ salts::SHARED_POP);
+    measure::shared::run_scan(&population, scale.seed ^ salts::SHARED_SCAN)
 }
 
 /// Formats the §VIII-B3 result.

@@ -52,6 +52,20 @@ pub struct ResolverOutcome {
     pub timing_diff_ms: Option<f64>,
 }
 
+impl ResolverOutcome {
+    /// How many of the six probed records were found cached — the flat
+    /// per-resolver quantity the campaign record stream carries.
+    pub fn cached_total(&self) -> usize {
+        self.cached_ttls.iter().flatten().count()
+    }
+
+    /// Remaining TTL of the apex `pool.ntp.org IN A` record — the Fig. 6
+    /// sample for this resolver, if cached.
+    pub fn apex_a_ttl(&self) -> Option<u32> {
+        self.cached_ttls[1]
+    }
+}
+
 /// Aggregate survey result.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct SurveyResult {

@@ -37,6 +37,29 @@ pub fn trial_seed(master: u64, idx: usize) -> u64 {
     scan_seed(master, idx)
 }
 
+/// The contiguous index range shard `shard` of `shards` owns in a
+/// population of `total` items: `⌊shard·total/shards⌋ ..
+/// ⌊(shard+1)·total/shards⌋`.
+///
+/// The ranges are balanced (sizes differ by at most one), cover `0..total`
+/// exactly, and concatenating them in shard order reproduces global index
+/// order — so a sweep split across shards and merged shard-by-shard yields
+/// the same item stream as an unsharded run. Seeds stay a pure function of
+/// the *global* index ([`scan_seed`]`(master, idx)`), never of the shard,
+/// which is what makes campaign results independent of the shard count.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `shard >= shards`.
+pub fn shard_range(total: usize, shard: usize, shards: usize) -> std::ops::Range<usize> {
+    assert!(shards > 0, "shard count must be positive");
+    assert!(shard < shards, "shard {shard} out of range for {shards} shards");
+    // u128 keeps the products exact for any realistic population size.
+    let lo = (shard as u128 * total as u128 / shards as u128) as usize;
+    let hi = ((shard as u128 + 1) * total as u128 / shards as u128) as usize;
+    lo..hi
+}
+
 /// Fans independent trials across a fixed number of worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct TrialRunner {
@@ -164,5 +187,31 @@ mod tests {
         for idx in [0usize, 1, 17, 4096] {
             assert_eq!(scan_seed(0xABCD, idx), trial_seed(0xABCD, idx));
         }
+    }
+
+    #[test]
+    fn shard_ranges_partition_and_balance() {
+        for total in [0usize, 1, 7, 64, 97, 1583] {
+            for shards in [1usize, 2, 3, 4, 8, 13] {
+                let ranges: Vec<_> = (0..shards).map(|k| shard_range(total, k, shards)).collect();
+                // Concatenation in shard order is exactly 0..total.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap/overlap at {total}/{shards}");
+                    next = r.end;
+                }
+                assert_eq!(next, total);
+                // Balanced to within one item.
+                let sizes: Vec<_> = ranges.iter().map(|r| r.end - r.start).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced {sizes:?} for {total}/{shards}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_range_rejects_out_of_range_shard() {
+        let _ = shard_range(10, 3, 3);
     }
 }

@@ -1,17 +1,39 @@
 //! The full measurement campaign: regenerates every survey-style table and
 //! figure of the paper's evaluation (Tables I, III, IV, V; Figs. 5, 6, 7;
-//! the §VII-A rate-limit scan; the §VIII-B3 shared-resolver study).
+//! the §VII-A rate-limit scan; the §VIII-B3 shared-resolver study), then
+//! re-runs the registry-addressable scans through the sharded `campaign`
+//! orchestration layer and prints their merged digests.
 //!
 //! ```sh
 //! cargo run --release --example measurement_campaign            # quick scale
 //! cargo run --release --example measurement_campaign -- --paper # full scale
+//! cargo run --release --example measurement_campaign -- \
+//!     --shards 4 --workers 2 --master-seed 7   # exercise the campaign layer
 //! ```
+//!
+//! `--shards` sets the deterministic shard count, `--workers` caps how
+//! many shards run concurrently, and `--master-seed` overrides the
+//! campaign seed — the printed digests are identical for any shard or
+//! worker count.
 
+use campaign::prelude::*;
 use timeshift::prelude::*;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    flag_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let scale = if paper { Scale::paper() } else { Scale::quick() };
+    let mut scale = if paper { Scale::paper() } else { Scale::quick() };
+    scale.seed = parsed_flag("--master-seed", scale.seed);
+    let shards: usize = parsed_flag("--shards", 2).max(1);
+    let workers: usize = parsed_flag("--workers", shards).max(1);
     println!("== timeshift measurement campaign (scale: {scale:?}) ==\n");
 
     println!("{}", experiments::format_table1(&experiments::table1(scale.seed, scale.workers)));
@@ -42,4 +64,32 @@ fn main() {
     println!("{}", experiments::format_chronos_bound(&experiments::chronos_bound()));
 
     println!("{}", experiments::boot_budget());
+
+    // ---- the sharded campaign layer ----
+    //
+    // The same scans, re-run through the `campaign` subsystem: K
+    // deterministic shards, per-shard checkpoints, merged in shard order
+    // with online aggregation. The digests printed here are bit-identical
+    // for any --shards/--workers combination (and to a `campaign run`
+    // of the same scenario, scale and seed).
+    println!("\n== campaign orchestration ({shards} shards, {workers} workers) ==\n");
+    for name in ["ratelimit", "pmtud", "chronos_bound"] {
+        let scenario = campaign::registry::find(name).expect("registered scenario");
+        let dir = std::env::temp_dir()
+            .join(format!("measurement-campaign-{}-{name}-x{shards}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = CampaignConfig {
+            scenario,
+            scale,
+            scale_label: if paper { "paper".into() } else { "quick".into() },
+            shards,
+            workers,
+            mode: ExecMode::InProcess,
+            dir: dir.clone(),
+            verbose: false,
+        };
+        let summary = run_campaign(&config).expect("campaign runs");
+        print!("{}", summary.render_text());
+        std::fs::remove_dir_all(dir).ok();
+    }
 }

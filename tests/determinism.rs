@@ -119,6 +119,60 @@ fn pooling_does_not_change_attack_digests() {
     assert_eq!(pooled, unpooled, "recycled buffers must not alter the simulation");
 }
 
+/// The campaign layer must not leak sharding into results: the merged
+/// record stream (pinned by its FNV digest) is identical at 1, 2 and 4
+/// in-process shards. (In-process vs. subprocess equality and the
+/// kill+resume path are asserted in `crates/campaign/tests/determinism.rs`
+/// where the worker binary is available.)
+#[test]
+fn campaign_digest_is_shard_count_independent() {
+    use campaign::prelude::*;
+    let scenario = campaign::registry::find("ratelimit").expect("registered");
+    let scale = Scale { pool_servers: 60, ..Scale::quick() };
+    let digest = |shards: usize| {
+        let dir =
+            std::env::temp_dir().join(format!("ts-campaign-{}-shards{shards}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let summary =
+            run_campaign(&CampaignConfig::in_process(scenario, scale, shards, dir.clone()))
+                .expect("campaign runs");
+        std::fs::remove_dir_all(dir).ok();
+        assert_eq!(summary.records, 60);
+        summary.digest
+    };
+    let baseline = digest(1);
+    assert_eq!(digest(2), baseline, "2 shards must match 1");
+    assert_eq!(digest(4), baseline, "4 shards must match 1");
+}
+
+/// An interrupted campaign (a shard checkpoint cut mid-stream, with a torn
+/// trailing line) resumes to the same digest as an uninterrupted run.
+#[test]
+fn campaign_resume_after_interrupt_is_bit_identical() {
+    use campaign::prelude::*;
+    use std::io::Write as _;
+    let scenario = campaign::registry::find("chronos_bound").expect("registered");
+    let dir = std::env::temp_dir().join(format!("ts-campaign-{}-resume", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = CampaignConfig::in_process(scenario, Scale::quick(), 2, dir.clone());
+    let uninterrupted = run_campaign(&config).expect("first run");
+    // Interrupt shard 0: keep 4 of its records plus a torn final line.
+    let shard0 = campaign::checkpoint::shard_path(&dir, 0);
+    let lines: Vec<String> =
+        std::fs::read_to_string(&shard0).expect("read").lines().map(String::from).collect();
+    let mut f = std::fs::File::create(&shard0).expect("rewrite");
+    for line in &lines[..4] {
+        writeln!(f, "{line}").expect("write");
+    }
+    write!(f, "{}", &lines[4][..lines[4].len() / 2]).expect("torn tail");
+    drop(f);
+    std::fs::remove_file(campaign::checkpoint::summary_path(&dir)).ok();
+    let resumed = run_campaign(&config).expect("resume");
+    assert_eq!(resumed.digest, uninterrupted.digest, "resume must reproduce the stream");
+    assert_eq!(resumed.records, uninterrupted.records);
+    std::fs::remove_dir_all(dir).ok();
+}
+
 /// Raw runner sweep over seeds: order and values survive parallelism.
 #[test]
 fn seeded_boot_sweep_merges_in_seed_order() {
