@@ -17,7 +17,7 @@
 //! 5. **Check** (optional): RD=0 snooping verifies whether the poisoned
 //!    glue / the malicious A set has landed, so the attacker can stop.
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::net::Ipv4Addr;
 
 use dns::auth::DNS_PORT;
@@ -138,9 +138,9 @@ const CONTROL_PORT: u16 = 5398;
 pub struct PoisonPipeline {
     /// Configuration (public for scenario introspection).
     pub config: PoisonConfig,
-    targets: HashMap<Ipv4Addr, TargetState>,
-    probe_pending: HashMap<u16, Ipv4Addr>,
-    control_pending: HashMap<u16, ControlQuery>,
+    targets: FastMap<Ipv4Addr, TargetState>,
+    probe_pending: FastMap<u16, Ipv4Addr>,
+    control_pending: FastMap<u16, ControlQuery>,
     check_name: Option<Name>,
     last_icmp: Option<SimTime>,
     last_probe: Option<SimTime>,
@@ -173,8 +173,8 @@ impl PoisonPipeline {
         PoisonPipeline {
             config,
             targets,
-            probe_pending: HashMap::new(),
-            control_pending: HashMap::new(),
+            probe_pending: FastMap::default(),
+            control_pending: FastMap::default(),
             check_name: None,
             last_icmp: None,
             last_probe: None,

@@ -40,6 +40,8 @@ impl Entry {
     }
 }
 
+// crates/bench is the simlint R3 wall-clock allowlist; mirror for clippy.
+#[allow(clippy::disallowed_methods)]
 fn timed(name: &'static str, trials: impl FnOnce() -> usize) -> Entry {
     let start = Instant::now();
     let n = trials();
@@ -136,6 +138,7 @@ fn main() {
         let scenario = campaign::registry::find(name).expect("registered scenario");
         let built = scenario.build(scale);
         let trials = built.trials();
+        #[allow(clippy::disallowed_methods)] // bench crate: R3 allowlist
         let start = Instant::now();
         let indices: Vec<usize> = (0..trials).collect();
         let lines = TrialRunner::new(scale.workers)

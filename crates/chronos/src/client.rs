@@ -7,7 +7,7 @@
 //! with 89 addresses and a multi-day TTL both floods the pool and freezes
 //! all later lookups onto the cache.
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::net::Ipv4Addr;
 
 use dns::name::Name;
@@ -69,7 +69,7 @@ pub struct ChronosStats {
 
 #[derive(Debug)]
 struct Round {
-    pending: HashMap<Ipv4Addr, NtpTimestamp>,
+    pending: FastMap<Ipv4Addr, NtpTimestamp>,
     samples: Vec<NtpDuration>,
     panic: bool,
 }
@@ -153,7 +153,7 @@ impl ChronosClient {
         } else {
             pool.sample(ctx.rng(), self.config.sample_size.min(pool.len())).copied().collect()
         };
-        let mut pending = HashMap::new();
+        let mut pending = FastMap::default();
         let now = ctx.now();
         for addr in chosen {
             let t1 = self.clock.now(now);

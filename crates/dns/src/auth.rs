@@ -200,6 +200,7 @@ mod tests {
         let mut srv = AuthServer::new(vec![zone]);
         let mut rng = rng();
         let r1 = srv.answer(&query("pool.ntp.org"), &mut rng);
+        #[allow(clippy::disallowed_types)] // test code (simlint R2 exempts tests)
         let mut seen: std::collections::HashSet<Ipv4Addr> = r1.answer_addrs().into_iter().collect();
         assert_eq!(seen.len(), 4);
         for _ in 0..10 {

@@ -5,7 +5,7 @@
 //! reveal whether (and for how much longer) `pool.ntp.org` records are
 //! cached.
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 
 use crate::name::Name;
 use crate::record::{Record, RecordType};
@@ -22,7 +22,7 @@ struct CachedRrset {
 /// A TTL-bounded DNS cache.
 #[derive(Debug, Default)]
 pub struct DnsCache {
-    entries: HashMap<(Name, RecordType), CachedRrset>,
+    entries: FastMap<(Name, RecordType), CachedRrset>,
     max_ttl: u32,
 }
 
@@ -40,7 +40,7 @@ impl DnsCache {
     /// Creates a cache that caps stored TTLs at `max_ttl` seconds
     /// (BIND-style `max-cache-ttl`; pass `u32::MAX` for no cap).
     pub fn new(max_ttl: u32) -> Self {
-        DnsCache { entries: HashMap::new(), max_ttl }
+        DnsCache { entries: FastMap::default(), max_ttl }
     }
 
     /// Inserts (replaces) the RRset for `(name, rtype)`.

@@ -11,7 +11,7 @@
 //! unforgeable), so validation defeats the poisoning exactly as real DNSSEC
 //! would.
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 
 use crate::name::Name;
 use crate::record::{RData, Record, RecordType};
@@ -100,7 +100,7 @@ fn rdata_image(record: &Record) -> Vec<u8> {
 /// key (stands in for the DS chain from the root).
 #[derive(Debug, Clone, Default)]
 pub struct TrustAnchors {
-    anchors: HashMap<Name, ZoneKey>,
+    anchors: FastMap<Name, ZoneKey>,
 }
 
 impl TrustAnchors {

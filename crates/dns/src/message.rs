@@ -7,7 +7,7 @@
 //! servers do.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::net::Ipv4Addr;
 
 use crate::error::DnsError;
@@ -245,12 +245,12 @@ impl Message {
 struct Encoder {
     buf: BytesMut,
     // Canonical dotted suffix -> offset of its first occurrence.
-    offsets: HashMap<String, u16>,
+    offsets: FastMap<String, u16>,
 }
 
 impl Encoder {
     fn new() -> Self {
-        Encoder { buf: BytesMut::with_capacity(512), offsets: HashMap::new() }
+        Encoder { buf: BytesMut::with_capacity(512), offsets: FastMap::default() }
     }
 
     fn put_name(&mut self, name: &Name) {

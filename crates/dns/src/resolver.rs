@@ -12,7 +12,7 @@
 //! * RD=0 cache-only answers (the snooping primitive of Table IV);
 //! * optional DNSSEC-lite validation (the countermeasure of §IX).
 
-use std::collections::HashMap;
+use netsim::fasthash::{FastMap, FastSet};
 use std::net::Ipv4Addr;
 
 use netsim::prelude::*;
@@ -118,7 +118,7 @@ pub struct Resolver {
     config: ResolverConfig,
     cache: DnsCache,
     hints: Vec<(Name, Vec<Ipv4Addr>)>,
-    pending: HashMap<u64, Pending>,
+    pending: FastMap<u64, Pending>,
     next_id: u64,
     seq_port: u16,
     seq_txid: u16,
@@ -135,7 +135,7 @@ impl Resolver {
             config,
             cache,
             hints,
-            pending: HashMap::new(),
+            pending: FastMap::default(),
             next_id: 1,
             seq_port: 2048,
             seq_txid: 1,
@@ -337,7 +337,7 @@ impl Resolver {
         let additionals = in_bailiwick(&resp.additionals);
 
         // Group records into RRsets for validation and caching.
-        let mut rrsets: HashMap<(Name, RecordType), Vec<Record>> = HashMap::new();
+        let mut rrsets: FastMap<(Name, RecordType), Vec<Record>> = FastMap::default();
         for r in answers.iter().chain(&authorities).chain(&additionals) {
             if r.rtype() == RecordType::Opt {
                 continue;
@@ -350,7 +350,7 @@ impl Resolver {
             // where glue is unsigned; this is precisely why the glue
             // poisoning lands even on validating resolvers, while the
             // *final* forged answer for a signed name still fails here.
-            let answer_keys: std::collections::HashSet<(Name, RecordType)> =
+            let answer_keys: FastSet<(Name, RecordType)> =
                 answers.iter().map(|r| (r.name.clone(), r.rtype())).collect();
             for ((name, rtype), set) in &rrsets {
                 if *rtype == RecordType::Rrsig || !answer_keys.contains(&(name.clone(), *rtype)) {

@@ -1,7 +1,7 @@
 //! Client-side DNS helpers: a stub resolver for embedding in other hosts
 //! (NTP clients, scanners) and one-shot lookup utilities for tests.
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -37,14 +37,14 @@ pub struct DnsReply {
 pub struct StubResolver {
     resolver: Ipv4Addr,
     port: u16,
-    pending: HashMap<u16, Name>,
+    pending: FastMap<u16, Name>,
 }
 
 impl StubResolver {
     /// Creates a stub pointing at `resolver`, sourcing queries from local
     /// UDP port `port`.
     pub fn new(resolver: Ipv4Addr, port: u16) -> Self {
-        StubResolver { resolver, port, pending: HashMap::new() }
+        StubResolver { resolver, port, pending: FastMap::default() }
     }
 
     /// The resolver queried by this stub.

@@ -6,7 +6,7 @@
 //! nameserver is a zone with a [`AnswerPolicy::Wildcard`] handing out up to
 //! 89 attacker addresses per response (§VI).
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::net::Ipv4Addr;
 
 use crate::dnssec::ZoneKey;
@@ -60,13 +60,13 @@ pub struct Zone {
     pub key: Option<ZoneKey>,
     /// Answer policy for A queries.
     pub policy: AnswerPolicy,
-    records: HashMap<(Name, RecordType), Vec<Record>>,
+    records: FastMap<(Name, RecordType), Vec<Record>>,
 }
 
 impl Zone {
     /// Creates an empty, unsigned, static zone.
     pub fn new(origin: Name) -> Self {
-        Zone { origin, key: None, policy: AnswerPolicy::Static, records: HashMap::new() }
+        Zone { origin, key: None, policy: AnswerPolicy::Static, records: FastMap::default() }
     }
 
     /// Adds a record to the store.

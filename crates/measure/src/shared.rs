@@ -8,7 +8,7 @@
 //! query the scanner's nameserver — correlating tokens in the logs maps
 //! SMTP servers to resolvers.
 
-use std::collections::HashMap;
+use netsim::fasthash::{FastMap, FastSet};
 use std::net::Ipv4Addr;
 
 use dns::auth::DNS_PORT;
@@ -84,7 +84,7 @@ impl Host for SmtpServer {
 #[derive(Debug, Default)]
 struct LoggingNs {
     /// token label -> querying resolver address.
-    seen: HashMap<String, Ipv4Addr>,
+    seen: FastMap<String, Ipv4Addr>,
 }
 
 impl Host for LoggingNs {
@@ -118,7 +118,7 @@ struct ShareScanner {
     open_found: Vec<Ipv4Addr>,
     /// SMTP servers that answered the port probe.
     smtp_found: Vec<Ipv4Addr>,
-    txids: HashMap<u16, Ipv4Addr>,
+    txids: FastMap<u16, Ipv4Addr>,
     phase: u8,
 }
 
@@ -192,7 +192,7 @@ pub fn run_scan(population: &[SharedResolverSpec], seed: u64) -> SharedScanResul
 
     let mut resolvers = Vec::new();
     let mut smtp_candidates = Vec::new();
-    let mut smtp_resolver: HashMap<Ipv4Addr, Ipv4Addr> = HashMap::new();
+    let mut smtp_resolver: FastMap<Ipv4Addr, Ipv4Addr> = FastMap::default();
     for (i, spec) in population.iter().enumerate() {
         // /24 per resolver: 10.X.Y.53.
         let base = 0x0A00_0000u32 + ((i as u32) << 8);
@@ -246,7 +246,7 @@ pub fn run_scan(population: &[SharedResolverSpec], seed: u64) -> SharedScanResul
             smtp_candidates,
             open_found: Vec::new(),
             smtp_found: Vec::new(),
-            txids: HashMap::new(),
+            txids: FastMap::default(),
             phase: 0,
         }),
     )
@@ -256,13 +256,13 @@ pub fn run_scan(population: &[SharedResolverSpec], seed: u64) -> SharedScanResul
     let scanner = sim.host::<ShareScanner>(scanner_addr).expect("scanner exists");
     let log = sim.host::<LoggingNs>(log_ns).expect("log ns exists");
     // Resolvers observed doing bounce lookups (tokens "mailN"):
-    let smtp_shared: std::collections::HashSet<Ipv4Addr> = log
+    let smtp_shared: FastSet<Ipv4Addr> = log
         .seen
         .iter()
         .filter(|(token, _)| token.starts_with("mail"))
         .map(|(_, &resolver)| resolver)
         .collect();
-    let open: std::collections::HashSet<Ipv4Addr> = scanner.open_found.iter().copied().collect();
+    let open: FastSet<Ipv4Addr> = scanner.open_found.iter().copied().collect();
     let mut result = SharedScanResult { total: population.len(), ..Default::default() };
     for r in &resolvers {
         match (open.contains(r), smtp_shared.contains(r)) {

@@ -9,7 +9,10 @@
 //! simulated addresses inside a single-process simulation, so HashDoS
 //! resistance buys nothing here.
 
-use std::collections::HashMap;
+#[allow(clippy::disallowed_types)] // mirrored clippy allow for the same rule
+// simlint: allow(std-hash) — this module IS the sanctioned wrapper: FastMap and
+// FastSet re-key std's tables with a fixed-state hasher, removing the hazard.
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// FNV-1a byte mixer with a splitmix64 finalizer (good bucket dispersion
@@ -58,8 +61,18 @@ impl Hasher for FastHasher {
     }
 }
 
-/// A `HashMap` keyed through [`FastHasher`].
+/// A `HashMap` keyed through [`FastHasher`]. Unlike the std default, its
+/// hasher has no random state: iteration order is a pure function of the
+/// inserted keys, so map-order effects can never leak nondeterminism into
+/// trial results.
+#[allow(clippy::disallowed_types)]
+// simlint: allow(std-hash) — the definition of FastMap itself.
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` keyed through [`FastHasher`] (see [`FastMap`]).
+#[allow(clippy::disallowed_types)]
+// simlint: allow(std-hash) — the definition of FastSet itself.
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,8 @@
 //! cache models the behaviours the paper measured: reassembly timeouts of
 //! 30 s (Linux) and 60–120 s (Windows), and caps of 64 / 100 concurrently
 //! pending fragments.
+// simlint: hot-path — fragment/insert/reassemble run per packet; the
+// zero-clone contract (PR 3) lives here.
 
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
@@ -33,6 +35,8 @@ use crate::time::{SimDuration, SimTime};
 /// * [`FragmentError::DontFragment`] if DF is set and the packet does not fit.
 /// * [`FragmentError::AlreadyFragmented`] if `pkt` is itself a fragment.
 pub fn fragment(pkt: Ipv4Packet, mtu: u16) -> Result<Vec<Ipv4Packet>, FragmentError> {
+    // simlint: allow(hot-alloc) — convenience wrapper for tests/examples;
+    // the send path uses `fragment_into` with a reused caller buffer.
     let mut frags = Vec::new();
     fragment_into(pkt, mtu, &mut frags)?;
     Ok(frags)
@@ -212,6 +216,8 @@ impl DefragCache {
             entries: FastMap::default(),
             pending: FastMap::default(),
             expiry: VecDeque::new(),
+            // simlint: allow(hot-alloc) — cold constructor: one cache per
+            // host, built before the event loop starts.
             order: Vec::new(),
         }
     }
@@ -248,6 +254,9 @@ impl DefragCache {
         let expiry = &mut self.expiry;
         let entry = self.entries.entry(key).or_insert_with(|| {
             expiry.push_back((now, key));
+            // simlint: allow(hot-alloc) — `Vec::new` itself never touches
+            // the heap; the list grows on push, which the defrag-churn
+            // bench scores (fragments are zero-copy `Bytes` slices).
             Entry { fragments: Vec::new(), created: now }
         });
         let ttl = pkt.ttl;

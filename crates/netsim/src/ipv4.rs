@@ -3,6 +3,8 @@
 //! Fragmentation-based DNS poisoning manipulates real IPv4 header fields —
 //! the identification (IPID), the `MF` flag and the fragment offset — so
 //! packets are modelled at wire level and round-trip through real bytes.
+// simlint: hot-path — encode/decode and by-value packet moves run per
+// packet; payloads must stay zero-copy `Bytes` slices.
 
 use core::fmt;
 use std::net::Ipv4Addr;

@@ -25,6 +25,8 @@
 //! the `ready` run; coarser slots re-sort on cascade. The differential
 //! property test (`tests/wheel_vs_heap.rs`) pins this equivalence against
 //! a reference heap over arbitrary interleaved schedule/pop sequences.
+// simlint: hot-path — schedule/pop run once per simulated event; steady
+// state must stay free of heap traffic.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -85,6 +87,8 @@ struct Level<T> {
 
 impl<T> Level<T> {
     fn new() -> Self {
+        // simlint: allow(hot-alloc) — empty slot rings, built once per
+        // simulator; slot storage is retained and reused across pops.
         Level { slots: std::array::from_fn(|_| Vec::new()), occupied: 0 }
     }
 }
@@ -123,6 +127,8 @@ impl<T> TimingWheel<T> {
         TimingWheel {
             cursor: 0,
             ready: VecDeque::new(),
+            // simlint: allow(hot-alloc) — cold constructor: the level array
+            // is boxed once so the wheel value itself stays register-sized.
             levels: Box::new(std::array::from_fn(|_| Level::new())),
             overflow: BinaryHeap::new(),
             seq: 0,

@@ -6,7 +6,7 @@
 //! the victim eventually declares the server unreachable and turns to DNS
 //! for a replacement.
 
-use std::collections::HashMap;
+use netsim::fasthash::FastMap;
 use std::net::Ipv4Addr;
 
 use netsim::prelude::*;
@@ -96,7 +96,7 @@ pub struct NtpServer {
     pub open_config: bool,
     /// Upstream peers reported by the config interface.
     pub upstream_peers: Vec<Ipv4Addr>,
-    clients: HashMap<Ipv4Addr, PerClient>,
+    clients: FastMap<Ipv4Addr, PerClient>,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -111,7 +111,7 @@ impl NtpServer {
             rate_limit: RateLimitConfig::disabled(),
             open_config: false,
             upstream_peers: Vec::new(),
-            clients: HashMap::new(),
+            clients: FastMap::default(),
             stats: ServerStats::default(),
         }
     }

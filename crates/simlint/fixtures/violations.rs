@@ -1,0 +1,30 @@
+//! Deliberately-violating source for the CI negative smoke: `simlint`
+//! must exit nonzero on this file. Never compiled — `fixtures/` is not a
+//! source dir and the workspace walk skips it (see `config::SKIP_DIRS`).
+// simlint: hot-path
+
+use std::collections::HashMap; // R2: std-hash
+use std::time::Instant;
+
+fn wall_clock() -> Instant {
+    Instant::now() // R3: wall-clock
+}
+
+fn ambient() -> u64 {
+    let mut rng = thread_rng(); // R4: ambient-rng
+    rng.gen()
+}
+
+fn hot(v: &[u8]) -> Vec<u8> {
+    v.to_vec() // R5: hot-alloc (file carries the hot-path marker)
+}
+
+fn undocumented(p: *mut u8) {
+    unsafe { p.write(0) } // R1: safety (no SAFETY comment anywhere near)
+}
+
+fn bad_suppression() -> HashMap<u32, u32> {
+    HashMap::new() // simlint: allow(std-hash)
+    // ^ allow-syntax: an allow without a reason is itself an error and
+    //   does not suppress the std-hash finding on its line.
+}

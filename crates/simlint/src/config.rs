@@ -1,0 +1,72 @@
+//! Embedded workspace configuration: which trees are walked, which paths
+//! may read the wall clock, and which enums must carry a compile-time
+//! size assertion.
+//!
+//! The tables live in code rather than a config file on purpose: changing
+//! an invariant should be a reviewed diff to the linter, not an edit to a
+//! dotfile nobody reads. All paths are workspace-root-relative with `/`
+//! separators (the walker normalises).
+
+/// Directory trees (relative to the workspace root) that simlint walks.
+/// `vendor/` stand-ins other than `bytes` mirror *external* crates'
+/// APIs and are exempt; `vendor/bytes` grew the first-party pool and is
+/// held to the same standard as `crates/*`.
+pub const WALK_ROOTS: &[&str] = &["src", "tests", "examples", "crates", "vendor/bytes"];
+
+/// Directory names skipped anywhere in the walk. `fixtures` holds
+/// deliberately-violating sources for the CI negative smoke.
+pub const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Path prefixes where wall-clock reads (R3) are legitimate: benchmark
+/// timing is *about* wall time. Everything else must take time from the
+/// simulator so results stay a pure function of `(scale, seed, index)`.
+pub const WALL_CLOCK_ALLOW: &[&str] = &["crates/bench/"];
+
+/// Path fragments that mark a file as test code: R2 (std hash containers)
+/// and R5 (hot-path allocations) do not apply there. `#[cfg(test)]`
+/// modules inside library files are detected separately.
+pub const TEST_PATH_MARKERS: &[&str] = &["tests/", "benches/"];
+
+/// Enums on the hot list (R6): every one must have a compile-time
+/// `size_of` assertion somewhere in its crate, so "aggressive" struct
+/// refactors (ROADMAP item 4) cannot silently fatten the event loop.
+/// Format: (crate directory, enum names defined in that crate).
+pub const HOT_ENUMS: &[(&str, &[&str])] =
+    &[("crates/netsim", &["Action", "EventKind"]), ("vendor/bytes", &["Repr", "MutRepr"])];
+
+/// Every rule simlint knows, by id. `allow(...)` comments naming
+/// anything else are themselves an error.
+pub const RULES: &[&str] =
+    &["safety", "std-hash", "wall-clock", "ambient-rng", "hot-alloc", "enum-size", "allow-syntax"];
+
+/// True when `path` (root-relative, `/`-separated) is test code by
+/// location alone.
+pub fn is_test_path(path: &str) -> bool {
+    TEST_PATH_MARKERS.iter().any(|m| path.starts_with(m) || path.contains(&format!("/{m}")))
+}
+
+/// True when `path` may read the wall clock.
+pub fn wall_clock_allowed(path: &str) -> bool {
+    WALL_CLOCK_ALLOW.iter().any(|p| path.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_path_detection() {
+        assert!(is_test_path("tests/pool.rs"));
+        assert!(is_test_path("crates/netsim/tests/wheel_vs_heap.rs"));
+        assert!(is_test_path("crates/bench/benches/table3.rs"));
+        assert!(!is_test_path("crates/netsim/src/wheel.rs"));
+        assert!(!is_test_path("src/lib.rs"));
+    }
+
+    #[test]
+    fn wall_clock_allowlist_covers_bench_only() {
+        assert!(wall_clock_allowed("crates/bench/src/lib.rs"));
+        assert!(!wall_clock_allowed("crates/netsim/src/sim.rs"));
+        assert!(!wall_clock_allowed("crates/campaign/src/exec.rs"));
+    }
+}

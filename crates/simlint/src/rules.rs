@@ -1,0 +1,723 @@
+//! The invariant rules, evaluated over the token/comment stream.
+//!
+//! | id            | invariant                                                      |
+//! |---------------|----------------------------------------------------------------|
+//! | `safety`      | every `unsafe` is preceded by a SAFETY comment / doc section   |
+//! | `std-hash`    | no `HashMap`/`HashSet` in non-test library code                |
+//! | `wall-clock`  | no `Instant::now`/`SystemTime::now` outside the bench allowlist|
+//! | `ambient-rng` | no `thread_rng`/`from_entropy`/`rand::random`, anywhere        |
+//! | `hot-alloc`   | no allocation idioms in files marked hot-path                  |
+//! | `enum-size`   | every hot-list enum has a compile-time `size_of` assertion     |
+//! | `allow-syntax`| every suppression names a real rule and gives a reason         |
+//!
+//! Suppression is per-line and must carry a justification, e.g.
+//! `hot-alloc` can be waived on a cold constructor line with a trailing
+//! comment of the shape `simlint: allow(<rule>) — <why this is sound>`
+//! (written with `//`). A file opts into the allocation rules with a
+//! file-scope marker comment of the shape `simlint: hot-path`.
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Comment, Lexed, Tok};
+
+/// A parsed suppression: findings for `rule` on `from_line..=to_line`
+/// are dropped.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    from_line: u32,
+    to_line: u32,
+}
+
+/// What a comment's directive (if any) means.
+enum Directive {
+    HotPath,
+    Allow { rule: String, reason: String },
+    Malformed(String),
+}
+
+/// Parses a simlint directive out of a comment. Only comments that
+/// *begin* with the directive count, so prose that merely mentions the
+/// syntax (docs, this file) is inert.
+fn parse_directive(c: &Comment) -> Option<Directive> {
+    let t = c.text.trim().trim_start_matches('`').trim_start();
+    let rest = t.strip_prefix("simlint:")?.trim_start();
+    if rest.starts_with("hot-path") {
+        return Some(Directive::HotPath);
+    }
+    if let Some(body) = rest.strip_prefix("allow(") {
+        let Some(close) = body.find(')') else {
+            return Some(Directive::Malformed("unclosed `allow(`".into()));
+        };
+        let rule = body[..close].trim().to_string();
+        let reason = body[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        return Some(Directive::Allow { rule, reason });
+    }
+    None
+}
+
+/// `#[cfg(test)]` item extents, as inclusive line ranges. Files living
+/// under `tests/`/`benches/` are handled by path instead.
+fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.toks;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].span.line;
+        let mut j = i + 1;
+        let inner = j < toks.len() && toks[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to the matching `]`.
+        let mut depth = 0i32;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() {
+            match &toks[j].kind {
+                crate::lexer::TokKind::Punct('[') => depth += 1,
+                crate::lexer::TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                crate::lexer::TokKind::Ident(id) => {
+                    saw_cfg |= id == "cfg";
+                    saw_test |= id == "test";
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            regions.push((1, u32::MAX));
+            return regions;
+        }
+        // Find the annotated item's extent: the first brace block, or a
+        // terminating `;` for braceless items (`use`, type aliases).
+        let mut k = j + 1;
+        let mut end_line = attr_line;
+        while k < toks.len() {
+            if toks[k].is_punct('{') {
+                let mut braces = 0i32;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        braces += 1;
+                    } else if toks[k].is_punct('}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                end_line = toks[k.min(toks.len() - 1)].span.line;
+                break;
+            }
+            if toks[k].is_punct(';') {
+                end_line = toks[k].span.line;
+                break;
+            }
+            k += 1;
+        }
+        regions.push((attr_line, end_line.max(attr_line)));
+        i = j + 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// True when a SAFETY marker comment covers `line` or sits in the
+/// contiguous comment/blank/attribute block directly above it.
+fn safety_comment_near(lexed: &Lexed, line: u32) -> bool {
+    let has_marker = |c: &Comment| c.text.contains("SAFETY:") || c.text.contains("# Safety");
+    if lexed.comment_at(line).is_some_and(&has_marker) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        if let Some(c) = lexed.comment_at(l) {
+            if has_marker(c) {
+                return true;
+            }
+            l = c.start_line.saturating_sub(1);
+            continue;
+        }
+        if lexed.line_has_code(l) {
+            // Attribute lines (`#[inline]`) may sit between the comment
+            // and the unsafe item; anything else ends the search.
+            let first_on_line =
+                lexed.toks.iter().find(|t| t.span.line == l).expect("line has code");
+            if first_on_line.is_punct('#') {
+                l -= 1;
+                continue;
+            }
+            return false;
+        }
+        l -= 1; // blank line
+    }
+    false
+}
+
+/// Matches `base :: name` starting at `toks[i]` (where `toks[i]` is the
+/// `base` identifier).
+fn qualified(toks: &[Tok], i: usize, base: &str, name: &str) -> bool {
+    toks[i].ident() == Some(base)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).and_then(Tok::ident) == Some(name)
+}
+
+/// Matches `. name (` starting at the `.` in `toks[i]`.
+fn method_call(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks[i].is_punct('.')
+        && toks.get(i + 1).and_then(Tok::ident) == Some(name)
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+}
+
+/// Lints one file's source. `path` must be workspace-root-relative with
+/// `/` separators — the rules use it for the test/bench/allowlist scopes.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_lexed(path, &lex(source))
+}
+
+/// Lints one file that has already been lexed.
+pub fn lint_lexed(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut hot = false;
+
+    for (ci, c) in lexed.comments.iter().enumerate() {
+        match parse_directive(c) {
+            Some(Directive::HotPath) => hot = true,
+            Some(Directive::Allow { rule, reason }) => {
+                if !config::RULES.contains(&rule.as_str()) {
+                    diags.push(Diagnostic {
+                        path: path.into(),
+                        line: c.start_line,
+                        col: 1,
+                        rule: "allow-syntax",
+                        message: format!(
+                            "allow names unknown rule `{rule}` (known: {})",
+                            config::RULES.join(", ")
+                        ),
+                    });
+                } else if reason.is_empty() {
+                    diags.push(Diagnostic {
+                        path: path.into(),
+                        line: c.start_line,
+                        col: 1,
+                        rule: "allow-syntax",
+                        message: format!(
+                            "allow({rule}) without a reason — every exception must \
+                             justify itself in the diff"
+                        ),
+                    });
+                } else {
+                    // A justification may wrap onto following comment
+                    // lines; the allow covers the whole contiguous
+                    // comment block plus the line after it.
+                    let mut end = c.end_line;
+                    for next in &lexed.comments[ci + 1..] {
+                        if next.start_line == end + 1 && parse_directive(next).is_none() {
+                            end = next.end_line;
+                        } else {
+                            break;
+                        }
+                    }
+                    allows.push(Allow { rule, from_line: c.start_line, to_line: end + 1 });
+                }
+            }
+            Some(Directive::Malformed(why)) => diags.push(Diagnostic {
+                path: path.into(),
+                line: c.start_line,
+                col: 1,
+                rule: "allow-syntax",
+                message: why,
+            }),
+            None => {}
+        }
+    }
+
+    let test_file = config::is_test_path(path);
+    let regions = test_regions(lexed);
+    let in_test = |line: u32| test_file || in_regions(&regions, line);
+    let toks = &lexed.toks;
+
+    let mut push = |line: u32, col: u32, rule: &'static str, message: String| {
+        diags.push(Diagnostic { path: path.into(), line, col, rule, message });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        let (line, col) = (t.span.line, t.span.col);
+        match t.ident() {
+            // R1 — SAFETY comments. Applies everywhere, tests included:
+            // an unjustified `unsafe` in a test is still unjustified.
+            Some("unsafe") if !safety_comment_near(lexed, line) => {
+                push(
+                    line,
+                    col,
+                    "safety",
+                    "`unsafe` without a preceding `// SAFETY:` comment (or \
+                     `/// # Safety` doc section) stating the invariant relied on"
+                        .into(),
+                );
+            }
+            // R2 — SipHash's random state makes iteration order differ
+            // run to run; results must be a pure function of
+            // (scale, seed, index).
+            Some(name @ ("HashMap" | "HashSet")) if !in_test(line) => {
+                let fast = if name == "HashMap" { "FastMap" } else { "FastSet" };
+                push(
+                    line,
+                    col,
+                    "std-hash",
+                    format!(
+                        "`{name}` in library code: SipHash's random state is a \
+                         determinism hazard — use `netsim::fasthash::{fast}`"
+                    ),
+                );
+            }
+            // R3 — simulated time comes from the simulator.
+            Some("Instant" | "SystemTime")
+                if qualified(toks, i, t.ident().unwrap_or_default(), "now")
+                    && !config::wall_clock_allowed(path) =>
+            {
+                push(
+                    line,
+                    col,
+                    "wall-clock",
+                    format!(
+                        "`{}::now` outside the bench allowlist: simulated time must \
+                         come from the simulator, not the host clock",
+                        t.ident().unwrap_or_default()
+                    ),
+                );
+            }
+            // R4 — all randomness derives from (scale, master_seed, index).
+            Some(name @ ("thread_rng" | "from_entropy")) => {
+                push(
+                    line,
+                    col,
+                    "ambient-rng",
+                    format!(
+                        "`{name}` is ambient randomness — derive every seed from \
+                         (scale, master_seed, index) via SmallRng::seed_from_u64"
+                    ),
+                );
+            }
+            Some("rand") if qualified(toks, i, "rand", "random") => {
+                push(
+                    line,
+                    col,
+                    "ambient-rng",
+                    "`rand::random` is ambient randomness — derive every seed from \
+                     (scale, master_seed, index) via SmallRng::seed_from_u64"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
+
+        // R5 — allocation idioms in hot-path files (steady state must not
+        // touch the heap; cold/setup lines take a justified allow).
+        if hot && !in_test(line) {
+            let hit: Option<&str> = if method_call(toks, i, "clone") {
+                Some(".clone()")
+            } else if method_call(toks, i, "to_vec") {
+                Some(".to_vec()")
+            } else if qualified(toks, i, "Vec", "new") {
+                Some("Vec::new")
+            } else if qualified(toks, i, "Box", "new") {
+                Some("Box::new")
+            } else if qualified(toks, i, "String", "from") {
+                Some("String::from")
+            } else if t.ident() == Some("vec") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                Some("vec![…]")
+            } else if t.ident() == Some("format")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                Some("format!")
+            } else {
+                None
+            };
+            if let Some(idiom) = hit {
+                let (line, col) = if idiom.starts_with('.') {
+                    (toks[i + 1].span.line, toks[i + 1].span.col)
+                } else {
+                    (line, col)
+                };
+                push(
+                    line,
+                    col,
+                    "hot-alloc",
+                    format!(
+                        "`{idiom}` in a hot-path module: the packet path holds a \
+                         zero-heap-allocation steady state — use pooled buffers / \
+                         caller-supplied scratch, or justify with an allow"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Apply suppressions. `allow-syntax` findings are never suppressible:
+    // a broken allow must not hide itself.
+    diags.retain(|d| {
+        d.rule == "allow-syntax"
+            || !allows
+                .iter()
+                .any(|a| a.rule == d.rule && a.from_line <= d.line && d.line <= a.to_line)
+    });
+    diags
+}
+
+/// R6 — every hot-list enum must carry a compile-time size assertion in
+/// its crate, so "shrink the hot structs" refactors get a permanent gate.
+/// `files` holds every walked (path, lexed) pair.
+pub fn check_enum_sizes(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &(crate_dir, enums) in config::HOT_ENUMS {
+        let in_crate: Vec<&(String, Lexed)> =
+            files.iter().filter(|(p, _)| p.starts_with(&format!("{crate_dir}/"))).collect();
+        if in_crate.is_empty() {
+            continue; // crate not part of this lint invocation (e.g. single-file mode)
+        }
+        for &name in enums {
+            let mut def: Option<(String, u32, u32)> = None;
+            let mut asserted = false;
+            for (path, lexed) in &in_crate {
+                let toks = &lexed.toks;
+                for (i, t) in toks.iter().enumerate() {
+                    if t.ident() == Some("enum")
+                        && toks.get(i + 1).and_then(Tok::ident) == Some(name)
+                    {
+                        let s = toks[i + 1].span;
+                        def.get_or_insert((path.clone(), s.line, s.col));
+                    }
+                    // `… const _ … size_of::<Name>` — a compile-time
+                    // assertion mentions the enum within a const item.
+                    if t.ident() == Some("size_of")
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+                        && toks.get(i + 4).and_then(Tok::ident) == Some(name)
+                    {
+                        let window = &toks[i.saturating_sub(40)..i];
+                        if window.iter().any(|t| t.ident() == Some("const")) {
+                            asserted = true;
+                        }
+                    }
+                }
+            }
+            match def {
+                None => diags.push(Diagnostic {
+                    path: crate_dir.into(),
+                    line: 0,
+                    col: 0,
+                    rule: "enum-size",
+                    message: format!(
+                        "hot-list enum `{name}` is not defined in this crate — \
+                         update simlint's HOT_ENUMS table"
+                    ),
+                }),
+                Some((path, line, col)) if !asserted => diags.push(Diagnostic {
+                    path,
+                    line,
+                    col,
+                    rule: "enum-size",
+                    message: format!(
+                        "enum `{name}` is on the hot list but its crate has no \
+                         compile-time size assertion — add \
+                         `const _: () = assert!(std::mem::size_of::<{name}>() <= N);`"
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn rules_at(src: &str) -> Vec<(&'static str, u32)> {
+        lint_source(LIB, src).into_iter().map(|d| (d.rule, d.line)).collect()
+    }
+
+    // ---- R1: safety ----
+
+    #[test]
+    fn unsafe_without_safety_comment_fires_at_the_right_line() {
+        let src = "fn f() {\n    let x = unsafe { danger() };\n}\n";
+        assert_eq!(rules_at(src), vec![("safety", 2)]);
+    }
+
+    #[test]
+    fn safety_comment_block_directly_above_passes() {
+        let src = "fn f() {\n    // SAFETY: the pointer is valid because\n    \
+                   // the arena outlives this call.\n    let x = unsafe { danger() };\n}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn safety_doc_section_on_unsafe_fn_passes() {
+        let src = "/// Frees the thing.\n///\n/// # Safety\n///\n/// `p` must be \
+                   valid.\npub unsafe fn free(p: *mut u8) {}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn attribute_between_safety_comment_and_unsafe_is_fine() {
+        let src = "// SAFETY: checked above.\n#[inline]\nunsafe fn g() {}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn unrelated_comment_above_unsafe_still_fires() {
+        let src = "// Frees the thing quickly.\nunsafe fn g() {}\n";
+        assert_eq!(rules_at(src), vec![("safety", 2)]);
+    }
+
+    #[test]
+    fn code_between_safety_comment_and_unsafe_breaks_the_link() {
+        let src = "// SAFETY: stale justification.\nlet a = 1;\nlet x = unsafe { d() };\n";
+        assert_eq!(rules_at(src), vec![("safety", 3)]);
+    }
+
+    // ---- R2: std-hash ----
+
+    #[test]
+    fn hashmap_in_library_code_fires() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        assert_eq!(rules_at(src), vec![("std-hash", 1), ("std-hash", 2)]);
+    }
+
+    #[test]
+    fn hashset_in_cfg_test_module_is_exempt() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    use \
+                   std::collections::HashSet;\n    #[test]\n    fn t() { let _ = \
+                   HashSet::<u32>::new(); }\n}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn hashmap_in_tests_dir_is_exempt() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_source("crates/demo/tests/it.rs", src), vec![]);
+        assert_eq!(lint_source("tests/determinism.rs", src), vec![]);
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_never_fires() {
+        let src = "// HashMap is banned here\nlet s = \"HashMap\";\nlet r = \
+                   r#\"HashSet \"inner\" \"#;\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    // ---- R3: wall-clock ----
+
+    #[test]
+    fn instant_now_fires_outside_the_allowlist() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(rules_at(src), vec![("wall-clock", 1)]);
+        let src2 = "let t = SystemTime::now();\n";
+        assert_eq!(rules_at(src2), vec![("wall-clock", 1)]);
+    }
+
+    #[test]
+    fn bench_crate_may_read_the_wall_clock() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(lint_source("crates/bench/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn instant_elapsed_alone_does_not_fire() {
+        // Only the `::now` constructors are wall-clock reads.
+        let src = "fn f(t: std::time::Instant) -> u64 { t.elapsed().as_nanos() as u64 }\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    // ---- R4: ambient-rng ----
+
+    #[test]
+    fn ambient_randomness_fires_even_in_tests() {
+        let src = "let mut rng = thread_rng();\n";
+        assert_eq!(rules_at(src), vec![("ambient-rng", 1)]);
+        for (path, src) in [
+            ("crates/demo/tests/it.rs", "let r = rand::random::<u8>();\n"),
+            ("tests/it.rs", "let g = SmallRng::from_entropy();\n"),
+        ] {
+            let rules: Vec<&str> = lint_source(path, src).iter().map(|d| d.rule).collect();
+            assert_eq!(rules, vec!["ambient-rng"], "must fire in test file {path}");
+        }
+    }
+
+    // ---- R5: hot-alloc ----
+
+    #[test]
+    fn hot_path_marker_arms_the_allocation_rules() {
+        let src = "// simlint: hot-path\nfn f(v: &[u8]) -> Vec<u8> { v.to_vec() }\n";
+        assert_eq!(rules_at(src), vec![("hot-alloc", 2)]);
+        // Without the marker the same file is silent.
+        let unmarked = "fn f(v: &[u8]) -> Vec<u8> { v.to_vec() }\n";
+        assert_eq!(rules_at(unmarked), vec![]);
+    }
+
+    #[test]
+    fn each_hot_alloc_idiom_fires() {
+        for stmt in [
+            "x.clone()",
+            "Vec::new()",
+            "vec![0u8; 16]",
+            "x.to_vec()",
+            "Box::new(x)",
+            "format!(\"{x}\")",
+            "String::from(\"x\")",
+        ] {
+            let src = format!("// simlint: hot-path\nfn f() {{ let _ = {stmt}; }}\n");
+            let diags = lint_source(LIB, &src);
+            assert_eq!(
+                diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(),
+                vec![("hot-alloc", 2)],
+                "idiom {stmt} must fire exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_alloc_skips_cfg_test_modules() {
+        let src = "// simlint: hot-path\npub fn lib() {}\n#[cfg(test)]\nmod tests {\n    \
+                   fn t() { let v = vec![1, 2]; let _ = v.clone(); }\n}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn clone_in_doc_example_does_not_fire() {
+        let src = "// simlint: hot-path\n/// ```\n/// let b = a.clone();\n/// ```\nfn f() {}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    // ---- allows ----
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses() {
+        let src = "// simlint: hot-path\nfn f() { let v: Vec<u8> = Vec::new(); } \
+                   // simlint: allow(hot-alloc) — cold constructor, never on the packet path\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses_next_line_only() {
+        let src = "// simlint: hot-path\n\
+                   // simlint: allow(hot-alloc) — setup, runs once\n\
+                   fn f() { let v: Vec<u8> = Vec::new(); }\n\
+                   fn g() { let w: Vec<u8> = Vec::new(); }\n";
+        assert_eq!(rules_at(src), vec![("hot-alloc", 4)]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error_and_does_not_suppress() {
+        let src = "// simlint: hot-path\nfn f() { let v: Vec<u8> = Vec::new(); } \
+                   // simlint: allow(hot-alloc)\n";
+        let mut rules: Vec<&str> = lint_source(LIB, src).iter().map(|d| d.rule).collect();
+        rules.sort_unstable();
+        assert_eq!(rules, vec!["allow-syntax", "hot-alloc"]);
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_an_error() {
+        let src = "fn f() {} // simlint: allow(hto-alloc) — typo\n";
+        let diags = lint_source(LIB, src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "allow-syntax");
+        assert!(diags[0].message.contains("hto-alloc"));
+    }
+
+    #[test]
+    fn allow_only_covers_its_own_rule() {
+        let src = "fn f() { let t = Instant::now(); } \
+                   // simlint: allow(ambient-rng) — wrong rule named\n";
+        assert_eq!(rules_at(src), vec![("wall-clock", 1)]);
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_inert() {
+        let src = "// Suppress with a comment like `simlint: allow(rule)` plus a reason.\n\
+                   fn f() {}\n";
+        // Mid-comment mentions parse as prose, not directives — but even a
+        // comment *starting* with the directive still validates the rule
+        // name, which is what the previous test pins.
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    // ---- R6: enum-size ----
+
+    fn lexed_files(files: &[(&str, &str)]) -> Vec<(String, Lexed)> {
+        files.iter().map(|(p, s)| (p.to_string(), lex(s))).collect()
+    }
+
+    #[test]
+    fn hot_enum_without_assertion_fires_at_its_definition() {
+        let files = lexed_files(&[(
+            "crates/netsim/src/sim.rs",
+            "pub enum Action { A }\npub enum EventKind { B }\n\
+             const _: () = assert!(std::mem::size_of::<EventKind>() <= 32);\n",
+        )]);
+        let diags = check_enum_sizes(&files);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].rule, diags[0].line), ("enum-size", 1));
+        assert!(diags[0].message.contains("`Action`"));
+    }
+
+    #[test]
+    fn asserted_hot_enums_pass_and_stale_config_is_reported() {
+        let files = lexed_files(&[(
+            "crates/netsim/src/sim.rs",
+            "pub enum Action { A }\npub enum EventKind { B }\n\
+             const _: () = assert!(std::mem::size_of::<Action>() <= 32);\n\
+             const _: () = assert!(std::mem::size_of::<EventKind>() <= 32);\n",
+        )]);
+        assert_eq!(check_enum_sizes(&files), vec![]);
+
+        // A crate that no longer defines a listed enum is a config bug.
+        let files = lexed_files(&[("crates/netsim/src/sim.rs", "pub enum Action { A }")]);
+        let diags = check_enum_sizes(&files);
+        assert!(diags.iter().any(|d| d.rule == "enum-size" && d.message.contains("EventKind")));
+    }
+
+    #[test]
+    fn size_of_outside_a_const_item_is_not_an_assertion() {
+        let files = lexed_files(&[(
+            "crates/netsim/src/sim.rs",
+            "pub enum Action { A }\npub enum EventKind { B }\n\
+             fn report() -> (usize, usize) {\n    \
+             (std::mem::size_of::<Action>(), std::mem::size_of::<EventKind>())\n}\n",
+        )]);
+        assert_eq!(check_enum_sizes(&files).len(), 2);
+    }
+}

@@ -41,233 +41,7 @@ use std::sync::Arc;
 /// probes and short application payloads.
 pub const INLINE_CAP: usize = 64;
 
-pub mod pool {
-    //! The thread-local recycling pool behind [`Bytes`](super::Bytes).
-    //!
-    //! Buffers larger than [`INLINE_CAP`](super::INLINE_CAP) are built in
-    //! a plain `Vec<u8>` (so writes cost exactly what `Vec` writes cost)
-    //! and frozen into an `Arc<Vec<u8>>`. The pool keeps two freelists per
-    //! thread:
-    //!
-    //! * **vec storage** — the sized payload allocations, revived by
-    //!   [`BytesMut::with_capacity`](super::BytesMut::with_capacity);
-    //! * **arc shells** — `Arc` control blocks holding an empty `Vec`,
-    //!   revived by `freeze` (one `Arc::get_mut` swaps the built vec in).
-    //!
-    //! When the last `Bytes` referencing a backing store drops, the pair
-    //! is taken apart again and both halves are parked. Steady state
-    //! therefore allocates nothing: not the payload storage, not the
-    //! refcount box. The pool is strictly thread-local: buffers recycle
-    //! on whichever thread drops them, and no locking is involved.
-
-    use std::cell::RefCell;
-    use std::sync::Arc;
-
-    /// Most recycled vec buffers (and arc shells) retained per thread.
-    pub const MAX_RESIDENT: usize = 256;
-
-    /// Largest buffer capacity the pool retains; bigger ones are freed so
-    /// a single oversized burst cannot pin memory forever.
-    pub const MAX_RECYCLED_CAPACITY: usize = 1 << 16;
-
-    /// Allocation counters of the current thread's pool.
-    ///
-    /// A "serve" is one backing-store acquisition event: constructing a
-    /// [`BytesMut`](super::BytesMut) or [`Bytes`](super::Bytes) that needs
-    /// storage. It is served from inline space, from the freelist, or by a
-    /// fresh heap allocation (a miss). Counters score *events*, not
-    /// logical buffers: a builder that starts inline and later spills to
-    /// pooled storage contributes one inline hit and one freelist
-    /// hit/miss.
-    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-    pub struct PoolStats {
-        /// Serves satisfied by reviving freelisted storage.
-        pub freelist_hits: u64,
-        /// Serves satisfied by inline (SSO) storage — no heap involved.
-        pub inline_hits: u64,
-        /// Serves that allocated fresh storage on the heap.
-        pub misses: u64,
-        /// Backing stores taken apart and parked by dropped buffers.
-        pub recycled: u64,
-        /// Vec buffers freed instead of parked (pool full, buffer too
-        /// large, or recycling disabled).
-        pub discarded: u64,
-        /// Vec buffers currently resident on the freelist.
-        pub resident: usize,
-    }
-
-    impl PoolStats {
-        /// Total backing-store acquisition events.
-        pub fn served(&self) -> u64 {
-            self.freelist_hits + self.inline_hits + self.misses
-        }
-
-        /// Fraction of serves that avoided a heap allocation (1.0 when
-        /// nothing was served yet).
-        pub fn hit_rate(&self) -> f64 {
-            let served = self.served();
-            if served == 0 {
-                1.0
-            } else {
-                (self.freelist_hits + self.inline_hits) as f64 / served as f64
-            }
-        }
-    }
-
-    struct Shelf {
-        vecs: Vec<Vec<u8>>,
-        shells: Vec<Arc<Vec<u8>>>,
-        stats: PoolStats,
-        enabled: bool,
-    }
-
-    // `const`-initialised so every access is a direct TLS load — this
-    // sits on the per-packet hot path, where a lazy-init check would
-    // cost as much as the allocation it replaces.
-    thread_local! {
-        static SHELF: RefCell<Shelf> = const {
-            RefCell::new(Shelf {
-                vecs: Vec::new(),
-                shells: Vec::new(),
-                stats: PoolStats {
-                    freelist_hits: 0,
-                    inline_hits: 0,
-                    misses: 0,
-                    recycled: 0,
-                    discarded: 0,
-                    resident: 0,
-                },
-                enabled: true,
-            })
-        };
-    }
-
-    /// Pops recycled vec storage of at least `capacity` bytes (plus an
-    /// arc shell for the eventual freeze, when one is parked) in a single
-    /// pool access, or allocates fresh storage (a miss).
-    #[inline]
-    pub(crate) fn acquire(capacity: usize) -> (Vec<u8>, Option<Arc<Vec<u8>>>) {
-        SHELF.with(|s| {
-            let mut s = s.borrow_mut();
-            if s.enabled {
-                if let Some(mut v) = s.vecs.pop() {
-                    // A revival only counts as a hit when it really avoids
-                    // heap work; growing a too-small vec reallocates and is
-                    // scored as a miss so the hit rate cannot hide it.
-                    if v.capacity() >= capacity {
-                        s.stats.freelist_hits += 1;
-                    } else {
-                        s.stats.misses += 1;
-                        v.reserve(capacity);
-                    }
-                    return (v, s.shells.pop());
-                }
-            }
-            s.stats.misses += 1;
-            (Vec::with_capacity(capacity), None)
-        })
-    }
-
-    /// Parks builder storage that was never frozen (or frees it when it
-    /// does not fit).
-    #[inline]
-    pub(crate) fn recycle_parts(mut vec: Vec<u8>, shell: Option<Arc<Vec<u8>>>) {
-        SHELF.with(|s| {
-            let mut s = s.borrow_mut();
-            if s.enabled && s.vecs.len() < MAX_RESIDENT && vec.capacity() <= MAX_RECYCLED_CAPACITY {
-                vec.clear();
-                s.vecs.push(vec);
-                s.stats.recycled += 1;
-            } else {
-                s.stats.discarded += 1;
-            }
-            if let Some(shell) = shell {
-                if s.enabled && s.shells.len() < MAX_RESIDENT {
-                    s.shells.push(shell);
-                }
-            }
-        });
-    }
-
-    /// Hands a frozen backing store back. If this was the last reference,
-    /// the pair is taken apart: the vec storage and the arc shell are both
-    /// parked. Shared drops are plain refcount decrements and return
-    /// before any TLS access.
-    #[inline]
-    pub(crate) fn recycle(arc: Arc<Vec<u8>>) {
-        // Only the last reference may be recycled. `strong_count` is an
-        // unsynchronised load, which is fine for the shared-drop early
-        // return (worst case a recycling opportunity is missed).
-        if Arc::strong_count(&arc) != 1 {
-            return;
-        }
-        // Pair the observed final decrement (a `Release` RMW in the other
-        // owners' drops) with an `Acquire` fence, exactly as `Arc`'s own
-        // deallocation path does, so their accesses to the buffer
-        // happen-before ours.
-        std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
-        // SAFETY: we hold an `Arc`, so `as_ptr` is valid; the count of 1
-        // means ours is the *only* strong reference (nobody else can clone
-        // it back up), this crate never creates `Weak`s, and the fence
-        // above orders the dead owners' accesses before this mutation —
-        // the inner vec may be moved out. (`Arc::get_mut` would prove the
-        // same thing but pays a weak-count CAS per call.)
-        let vec = std::mem::take(unsafe { &mut *(Arc::as_ptr(&arc) as *mut Vec<u8>) });
-        recycle_parts(vec, Some(arc));
-    }
-
-    /// Records a serve satisfied from inline (SSO) storage.
-    #[inline]
-    pub(crate) fn note_inline() {
-        SHELF.with(|s| s.borrow_mut().stats.inline_hits += 1);
-    }
-
-    /// Records the adopt-a-`Vec` path (`From<Vec<u8>>` above the inline
-    /// threshold): the buffer was not served by the pool, so it scores as
-    /// a miss.
-    #[inline]
-    pub(crate) fn note_adopt_miss() {
-        SHELF.with(|s| s.borrow_mut().stats.misses += 1);
-    }
-
-    /// Snapshot of the current thread's pool counters.
-    pub fn stats() -> PoolStats {
-        SHELF.with(|s| {
-            let s = s.borrow();
-            PoolStats { resident: s.vecs.len(), ..s.stats }
-        })
-    }
-
-    /// Clears the current thread's freelists and zeroes the counters. The
-    /// simulator calls this at construction so that allocation behaviour —
-    /// and therefore the pool counters it reports — depends only on the
-    /// simulation, never on what ran earlier on the thread.
-    pub fn reset() {
-        SHELF.with(|s| {
-            let mut s = s.borrow_mut();
-            s.vecs.clear();
-            s.shells.clear();
-            s.stats = PoolStats::default();
-        });
-    }
-
-    /// Enables or disables freelist recycling on the current thread
-    /// (inline storage is unaffected). Returns the previous setting. With
-    /// recycling off every non-inline serve is a fresh allocation — the
-    /// "unpooled path" used by the equivalence property tests.
-    pub fn set_enabled(enabled: bool) -> bool {
-        SHELF.with(|s| {
-            let mut s = s.borrow_mut();
-            let was = s.enabled;
-            s.enabled = enabled;
-            if !enabled {
-                s.vecs.clear();
-                s.shells.clear();
-            }
-            was
-        })
-    }
-}
+pub mod pool;
 
 // Shared Debug body for Bytes/BytesMut: escape like the real crate.
 macro_rules! fmt_bytes_debug {
@@ -319,6 +93,13 @@ enum Repr {
         end: usize,
     },
 }
+
+// The engine moves packets (and therefore their `Bytes` payloads) by
+// value on the deliver/reassemble path, so every byte of these reprs is
+// memcpy'd per hop. 72 B = the 64-B inline buffer + len + discriminant;
+// ROADMAP item 4 wants this *smaller*, so growth is a compile error.
+const _: () = assert!(std::mem::size_of::<Repr>() <= 72, "Bytes repr grew past 72 bytes");
+const _: () = assert!(std::mem::size_of::<Bytes>() == std::mem::size_of::<Repr>());
 
 /// Builds an inline repr from a short slice (no stats counted — callers
 /// that *serve* a new buffer count it themselves).
@@ -612,6 +393,9 @@ enum MutRepr {
         shell: Option<Arc<Vec<u8>>>,
     },
 }
+
+// Builders move at freeze time; same budget as the frozen repr.
+const _: () = assert!(std::mem::size_of::<MutRepr>() <= 72, "BytesMut repr grew past 72 bytes");
 
 impl BytesMut {
     /// Creates a new empty `BytesMut` (inline: no allocation).

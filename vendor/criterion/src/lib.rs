@@ -42,6 +42,7 @@ impl Criterion {
     /// Runs one benchmark. With `--test` on the command line (the real
     /// criterion's smoke mode, e.g. `cargo bench -- --test`), the body
     /// runs exactly once, untimed — fast enough for CI.
+    #[allow(clippy::disallowed_methods)] // bench harness: timing the host is its job
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -77,6 +78,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `f` once, timed.
+    #[allow(clippy::disallowed_methods)] // bench harness: timing the host is its job
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         let out = f();
