@@ -13,69 +13,8 @@
 //! artifact — after being checked by the `bench::json` validator (a
 //! malformed artifact panics the smoke run and fails CI).
 
-use std::net::Ipv4Addr;
-
-use bench::engine_driver::{drive, measure, EVENTS_PER_ITER, RING_HOSTS};
+use bench::engine_driver::{defrag_churn, drive, measure, EVENTS_PER_ITER, RING_HOSTS};
 use criterion::{criterion_group, criterion_main, Criterion};
-use timeshift::prelude::*;
-
-fn defrag_churn(rounds: u64) -> usize {
-    let mut cache =
-        DefragCache::new(DefragConfig { max_pending_per_pair: 64, ..DefragConfig::default() });
-    let src = Ipv4Addr::new(10, 0, 0, 1);
-    let dst = Ipv4Addr::new(10, 0, 0, 2);
-    let base = Ipv4Packet::udp(src, dst, 0, bytes::Bytes::from(vec![0xAB; 2000]));
-    let template = fragment(base, 1028).expect("fragments")[1].clone();
-    let mut pending_peak = 0;
-    for round in 0..rounds {
-        // One planted fragment per second: every insert past the timeout
-        // horizon also expires the oldest entry through the ring.
-        let mut f = template.clone();
-        f.id = (round % 0x1_0000) as u16;
-        let now = SimTime::ZERO + SimDuration::from_secs(round);
-        cache.insert(now, f);
-        pending_peak = pending_peak.max(cache.pending_reassemblies());
-    }
-    pending_peak
-}
-
-/// Writes the perf-trajectory artifact to the workspace root after
-/// validating it. Failure to *write* (e.g. a read-only checkout) only
-/// warns; emitting malformed JSON panics — that is the CI gate.
-fn write_bench_json(stats: &SimStats, elapsed_secs: f64, rate: f64, defrag_peak: usize) {
-    let pool_served = stats.pool_hits + stats.pool_misses;
-    let pool_hit_rate =
-        if pool_served == 0 { 1.0 } else { stats.pool_hits as f64 / pool_served as f64 };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    let json = format!(
-        "{{\n  \"bench\": \"engine\",\n  \"events_dispatched\": {},\n  \
-         \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.0},\n  \
-         \"peak_queue_depth\": {},\n  \"ipid_evictions\": {},\n  \
-         \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_hit_rate\": {:.6},\n  \
-         \"defrag_spray_rounds\": 30000,\n  \"defrag_peak_pending\": {}\n}}\n",
-        stats.events_dispatched,
-        elapsed_secs,
-        rate,
-        stats.peak_queue_depth,
-        stats.ipid_evictions,
-        stats.pool_hits,
-        stats.pool_misses,
-        pool_hit_rate,
-        defrag_peak,
-    );
-    bench::json::validate(&json).expect("BENCH_engine.json must be well-formed JSON");
-    assert!(
-        pool_hit_rate >= 0.99,
-        "steady-state deliver path must be allocation-free: pool hit rate {pool_hit_rate:.4} \
-         ({} hits / {} misses)",
-        stats.pool_hits,
-        stats.pool_misses
-    );
-    match std::fs::write(path, json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("warning: could not write {path}: {e}"),
-    }
-}
 
 fn bench(c: &mut Criterion) {
     // Headline numbers once per run: end-to-end events/sec of the loop,
@@ -103,8 +42,10 @@ fn bench(c: &mut Criterion) {
         ),
     );
     // Smoke mode is the per-PR CI entry point: record the trajectory.
+    // The artifact shape (incl. struct sizes and per-move cost) lives in
+    // `bench::artifact`, shared with `trajectory --engine-only`.
     if std::env::args().skip(1).any(|a| a == "--test") {
-        write_bench_json(&stats, elapsed, rate, defrag_peak);
+        bench::artifact::write_engine_json(&stats, elapsed, defrag_peak);
     }
 
     c.bench_function("engine/dispatch_100k_events", |b| {

@@ -1,0 +1,57 @@
+//! CI perf-regression gate: compare the freshly measured engine
+//! throughput against the committed baseline.
+//!
+//! Reads `BENCH_engine.json` (written moments earlier in the same CI run
+//! by the engine bench smoke or `trajectory --engine-only`) and
+//! `BENCH_baseline.json` (committed to the repository whenever the
+//! hot-path work moves the needle), and fails — exit 1 — if
+//! `engine_events_per_sec` dropped more than 10 % below the baseline.
+//! Improvements print a hint to refresh the baseline but pass.
+//!
+//! Both files come from the same class of machine within a run, but
+//! runners do vary; `PERFGATE_MIN_RATIO` overrides the default `0.9`
+//! floor for environments with a different noise profile.
+
+fn read_rate(path: &str) -> f64 {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perfgate: cannot read {path}: {e}"));
+    bench::json::validate(&body).unwrap_or_else(|e| panic!("perfgate: {path} is malformed: {e}"));
+    // The baseline and the scenario artifact name the field
+    // `engine_events_per_sec`; `BENCH_engine.json` itself (where engine
+    // is the whole bench) says `events_per_sec`. Accept either.
+    bench::json::number_field(&body, "engine_events_per_sec")
+        .or_else(|| bench::json::number_field(&body, "events_per_sec"))
+        .unwrap_or_else(|| panic!("perfgate: {path} has no numeric engine_events_per_sec"))
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let baseline = read_rate(&format!("{root}/BENCH_baseline.json"));
+    let current = read_rate(&format!("{root}/BENCH_engine.json"));
+    let min_ratio: f64 =
+        std::env::var("PERFGATE_MIN_RATIO").ok().and_then(|v| v.parse().ok()).unwrap_or(0.9);
+    let ratio = current / baseline;
+    println!(
+        "perfgate: engine {:.2} M events/sec vs baseline {:.2} M ({:+.1} %, floor {:.0} %)",
+        current / 1e6,
+        baseline / 1e6,
+        (ratio - 1.0) * 100.0,
+        min_ratio * 100.0,
+    );
+    if ratio < min_ratio {
+        eprintln!(
+            "perfgate: FAIL — engine throughput regressed more than {:.0} % below the \
+             committed baseline (BENCH_baseline.json)",
+            (1.0 - min_ratio) * 100.0
+        );
+        std::process::exit(1);
+    }
+    if ratio > 1.1 {
+        println!(
+            "perfgate: engine is {:.0} % above baseline — consider refreshing \
+             BENCH_baseline.json to tighten the gate",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    println!("perfgate: OK");
+}

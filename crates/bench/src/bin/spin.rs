@@ -1,0 +1,18 @@
+//! Profiler harness: drive the engine ring back-to-back with no timing,
+//! no JSON, and no scenario setup in the way.
+//!
+//! `trajectory --engine-only` is the *measurement* loop; this is the
+//! *attribution* loop — a single hot process for sampling profilers
+//! (`gprofng collect app target/release/spin 200`), where the signal
+//! would otherwise drown in cargo/criterion scaffolding. The argument is
+//! the number of ring drives (default 100, ≈100 k events each).
+
+fn main() {
+    let iters: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let mut total = 0u64;
+    for seed in 0..iters {
+        let stats = bench::engine_driver::drive(seed + 1);
+        total += stats.events_dispatched;
+    }
+    println!("dispatched {total}");
+}

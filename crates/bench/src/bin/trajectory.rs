@@ -20,6 +20,11 @@
 //! is the CI gate.
 //!
 //! Run with: `cargo run --release -p bench --bin trajectory`
+//!
+//! `--engine-only` skips the scenario and measure-scan passes and
+//! re-emits just `BENCH_engine.json` (engine events/sec, struct sizes,
+//! move costs) in a couple of seconds — the fast iteration loop for
+//! hot-path work, where a full scenario sweep would bury the signal.
 
 use std::time::Instant;
 
@@ -53,6 +58,19 @@ fn timed(name: &'static str, trials: impl FnOnce() -> usize) -> Entry {
 }
 
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--engine-only") {
+        let (stats, elapsed) = bench::engine_driver::measure();
+        let rate = stats.events_dispatched as f64 / elapsed;
+        println!(
+            "engine   {:.2} M events/sec ({} events in {:.3}s)",
+            rate / 1e6,
+            stats.events_dispatched,
+            elapsed
+        );
+        let defrag_peak = bench::engine_driver::defrag_churn(30_000);
+        bench::artifact::write_engine_json(&stats, elapsed, defrag_peak);
+        return;
+    }
     let scale = Scale::quick();
     println!("scenario trajectory smoke at Scale::quick() ({} workers)\n", scale.workers);
 

@@ -8,6 +8,10 @@
 //! * [`engine_driver`] — the budget-bounded forwarding-ring
 //!   microbenchmark used by the `engine` criterion target and the
 //!   `trajectory` smoke binary (events/sec of the raw event loop);
+//! * [`movecost`] — the memcpy/move-cost microbenchmark that prices the
+//!   by-value moves of each hot-path struct at its exact size;
+//! * [`artifact`] — the shared `BENCH_engine.json` renderer/writer, so
+//!   the criterion smoke and `trajectory --engine-only` emit one shape;
 //! * [`json`] — a tiny dependency-free JSON validator, so the CI smoke
 //!   runners can fail the build on malformed `BENCH_*.json` output
 //!   without shelling out to `jq`.
@@ -56,6 +60,7 @@ pub mod engine_driver {
             seed,
             Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(5))),
         );
+        sim.reserve_hosts(RING_HOSTS as usize);
         let addr = |i: u32| Ipv4Addr::from(0x0A00_0000 + 1 + i);
         for i in 0..RING_HOSTS {
             let next = addr((i + 1) % RING_HOSTS);
@@ -72,6 +77,28 @@ pub mod engine_driver {
         // The budget (not the deadline) terminates the run.
         sim.run_for(SimDuration::from_secs(86_400));
         sim.stats()
+    }
+
+    /// Defrag-cache churn: one planted fragment per second for `rounds`
+    /// rounds, so every insert past the timeout horizon also expires the
+    /// oldest entry through the time-ordered ring. Returns the peak
+    /// pending-reassembly count (the artifact's `defrag_peak_pending`).
+    pub fn defrag_churn(rounds: u64) -> usize {
+        let mut cache =
+            DefragCache::new(DefragConfig { max_pending_per_pair: 64, ..DefragConfig::default() });
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let base = Ipv4Packet::udp(src, dst, 0, bytes::Bytes::from(vec![0xAB; 2000]));
+        let template = fragment(base, 1028).expect("fragments")[1].clone();
+        let mut pending_peak = 0;
+        for round in 0..rounds {
+            let mut f = template.clone();
+            f.id = (round % 0x1_0000) as u16;
+            let now = SimTime::ZERO + SimDuration::from_secs(round);
+            cache.insert(now, f);
+            pending_peak = pending_peak.max(cache.pending_reassemblies());
+        }
+        pending_peak
     }
 
     /// Best-of-three timed drives of the same seed: identical stats every
@@ -94,6 +121,124 @@ pub mod engine_driver {
             }
         }
         (stats, elapsed)
+    }
+}
+
+pub mod movecost {
+    //! The memcpy/move-cost microbenchmark: measures the cost of moving
+    //! values by stride size, one stride per hot-path struct. The event
+    //! loop moves packets and events *by value* (wheel cascades, batch
+    //! drains, slab dispatch), so throughput is bounded by how fast the
+    //! machine shuffles N-byte objects — this pins the measured ns/move
+    //! for each struct's exact size next to the recorded sizes, making a
+    //! layout regression show up as a *cost*, not just a byte count.
+
+    /// Moves timed per stride (enough to escape timer granularity).
+    const LANES: usize = 4096;
+    /// Timed repetitions; best-of is recorded.
+    const ROUNDS: u32 = 64;
+
+    /// Cost of moving one `size`-byte value, in nanoseconds, measured as
+    /// a strided buffer-to-buffer copy (the same access pattern as a
+    /// wheel slot draining into the batch ring). Best of [`ROUNDS`]
+    /// passes over [`LANES`] lanes.
+    // Wall-clock reads are the point: crates/bench is the simlint R3
+    // allowlist (clippy mirrors the rule workspace-wide).
+    #[allow(clippy::disallowed_methods)]
+    pub fn ns_per_move(size: usize) -> f64 {
+        let src = vec![0xA5u8; size * LANES];
+        let mut dst = vec![0u8; size * LANES];
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let start = std::time::Instant::now();
+            for lane in 0..LANES {
+                let at = lane * size;
+                dst[at..at + size].copy_from_slice(&src[at..at + size]);
+            }
+            std::hint::black_box(&mut dst);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best * 1e9 / LANES as f64
+    }
+}
+
+pub mod artifact {
+    //! Builds and writes `BENCH_engine.json`, shared by the criterion
+    //! `engine` smoke target and the `trajectory --engine-only` runner so
+    //! both emit the identical artifact shape. The JSON is validated by
+    //! [`crate::json::validate`] before it is written — emitting a
+    //! malformed artifact panics, which is the CI gate.
+
+    use timeshift::prelude::*;
+
+    /// Renders the engine perf-trajectory artifact: headline events/sec,
+    /// pool behaviour, defrag churn, and the hot-path struct sizes with
+    /// their measured per-move cost (see [`crate::movecost`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rendered JSON fails validation or the steady-state
+    /// pool hit rate falls below 99 % — both are CI gates, not warnings.
+    pub fn render_engine_json(stats: &SimStats, elapsed_secs: f64, defrag_peak: usize) -> String {
+        let rate = stats.events_dispatched as f64 / elapsed_secs.max(1e-9);
+        let pool_served = stats.pool_hits + stats.pool_misses;
+        let pool_hit_rate =
+            if pool_served == 0 { 1.0 } else { stats.pool_hits as f64 / pool_served as f64 };
+        let mut sizes = String::new();
+        let mut moves = String::new();
+        for (i, (name, size)) in hot_struct_sizes().iter().enumerate() {
+            if i > 0 {
+                sizes.push_str(", ");
+                moves.push_str(",\n");
+            }
+            sizes.push_str(&format!("\"{name}\": {size}"));
+            moves.push_str(&format!(
+                "    {{ \"struct\": \"{name}\", \"bytes\": {size}, \"ns_per_move\": {:.3} }}",
+                crate::movecost::ns_per_move(*size)
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"engine\",\n  \"events_dispatched\": {},\n  \
+             \"elapsed_secs\": {:.6},\n  \"events_per_sec\": {:.0},\n  \
+             \"peak_queue_depth\": {},\n  \"ipid_evictions\": {},\n  \
+             \"pool_hits\": {},\n  \"pool_misses\": {},\n  \"pool_hit_rate\": {:.6},\n  \
+             \"defrag_spray_rounds\": 30000,\n  \"defrag_peak_pending\": {},\n  \
+             \"struct_sizes\": {{ {} }},\n  \"move_cost\": [\n{}\n  ]\n}}\n",
+            stats.events_dispatched,
+            elapsed_secs,
+            rate,
+            stats.peak_queue_depth,
+            stats.ipid_evictions,
+            stats.pool_hits,
+            stats.pool_misses,
+            pool_hit_rate,
+            defrag_peak,
+            sizes,
+            moves,
+        );
+        crate::json::validate(&json).expect("BENCH_engine.json must be well-formed JSON");
+        assert!(
+            pool_hit_rate >= 0.99,
+            "steady-state deliver path must be allocation-free: pool hit rate {pool_hit_rate:.4} \
+             ({} hits / {} misses)",
+            stats.pool_hits,
+            stats.pool_misses
+        );
+        json
+    }
+
+    /// Workspace-root path of `BENCH_engine.json`.
+    pub const ENGINE_JSON_PATH: &str =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+
+    /// Renders and writes the artifact. Failure to *write* (a read-only
+    /// checkout) only warns; malformed output panics in the renderer.
+    pub fn write_engine_json(stats: &SimStats, elapsed_secs: f64, defrag_peak: usize) {
+        let json = render_engine_json(stats, elapsed_secs, defrag_peak);
+        match std::fs::write(ENGINE_JSON_PATH, json) {
+            Ok(()) => println!("wrote {ENGINE_JSON_PATH}"),
+            Err(e) => eprintln!("warning: could not write {ENGINE_JSON_PATH}: {e}"),
+        }
     }
 }
 
@@ -120,6 +265,21 @@ pub mod json {
             return Err(format!("trailing data at byte {pos}"));
         }
         Ok(())
+    }
+
+    /// Extracts the first top-level-ish numeric field named `key` from
+    /// (already-validated) JSON: the value following `"key":`. Enough for
+    /// the perf gate to read a headline number out of a `BENCH_*.json`
+    /// artifact without a JSON tree in the workspace.
+    pub fn number_field(input: &str, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\"");
+        let at = input.find(&needle)? + needle.len();
+        let rest = input[at..].trim_start();
+        let rest = rest.strip_prefix(':')?.trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
     }
 
     fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -272,7 +432,7 @@ pub mod json {
 
     #[cfg(test)]
     mod tests {
-        use super::validate;
+        use super::{number_field, validate};
 
         #[test]
         fn accepts_well_formed_documents() {
@@ -306,6 +466,16 @@ pub mod json {
             ] {
                 assert!(validate(bad).is_err(), "should reject: {bad}");
             }
+        }
+
+        #[test]
+        fn number_field_reads_headline_values() {
+            let doc = r#"{ "bench": "engine", "engine_events_per_sec": 6500000,
+                           "nested": { "elapsed_secs": 0.015 } }"#;
+            assert_eq!(number_field(doc, "engine_events_per_sec"), Some(6_500_000.0));
+            assert_eq!(number_field(doc, "elapsed_secs"), Some(0.015));
+            assert_eq!(number_field(doc, "missing"), None);
+            assert_eq!(number_field(r#"{"a": "str"}"#, "a"), None);
         }
     }
 }

@@ -93,6 +93,10 @@ impl Scenario {
     /// servers. The attacker host itself is launched by the attack runners.
     pub fn build(config: ScenarioConfig) -> Scenario {
         let mut sim = Simulator::with_topology(config.seed, Topology::uniform(config.link));
+        // Pre-size the host slab and address interner for the whole
+        // population (pool + NS fleet + resolver + attacker NS + malicious
+        // servers): one allocation, no mid-registration rehash.
+        sim.reserve_hosts(config.pool_size + config.ns_count + config.malicious_count + 2);
         let pool_servers: Vec<Ipv4Addr> =
             (1..=config.pool_size as u32).map(|i| Ipv4Addr::from(0xC000_0200 + i)).collect();
         for &addr in &pool_servers {

@@ -184,6 +184,9 @@ pub fn run_scan(population: &[SharedResolverSpec], seed: u64) -> SharedScanResul
         seed,
         Topology::uniform(LinkSpec::fixed(SimDuration::from_millis(10))),
     );
+    // Scanner + logging NS + one resolver (and possibly one SMTP server)
+    // per population entry: reserve the slab up front.
+    sim.reserve_hosts(2 * population.len() + 2);
     let scanner_addr: Ipv4Addr = "203.0.113.11".parse().expect("static");
     let log_ns: Ipv4Addr = "203.0.113.12".parse().expect("static");
     let scan_zone: Name = "scan.example".parse().expect("static");

@@ -19,15 +19,25 @@
 /// assert_eq!(ones_complement_sum(&[1, 2, 3, 4]), 0x0406);
 /// ```
 pub fn ones_complement_sum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
-    let mut chunks = data.chunks_exact(2);
-    for chunk in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    // Eight bytes per step: one unaligned load and four 16-bit field adds
+    // into a u64 accumulator, instead of a bounds-checked add per word.
+    // This runs twice per simulated packet (encode and verify), so the
+    // constant factor matters more than elegance. No overflow: each step
+    // adds < 2^18, so even petabyte inputs stay far below 2^64.
+    let mut sum: u64 = 0;
+    let mut eights = data.chunks_exact(8);
+    for chunk in &mut eights {
+        let v = u64::from_be_bytes(chunk.try_into().expect("exact chunk"));
+        sum += (v >> 48) + ((v >> 32) & 0xFFFF) + ((v >> 16) & 0xFFFF) + (v & 0xFFFF);
     }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    let mut words = eights.remainder().chunks_exact(2);
+    for chunk in &mut words {
+        sum += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
     }
-    fold(sum)
+    if let [last] = words.remainder() {
+        sum += u64::from(u16::from_be_bytes([*last, 0]));
+    }
+    fold_sum(sum)
 }
 
 /// Computes the Internet checksum of `data`: the bitwise complement of the
@@ -68,6 +78,18 @@ pub fn oc_sub(a: u16, b: u16) -> u16 {
 }
 
 fn fold(mut sum: u32) -> u16 {
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// End-around-carry fold of a raw u64 accumulator of 16-bit word sums down
+/// to a canonical 16-bit ones'-complement sum. Public so callers summing
+/// fixed-shape words directly from registers (the UDP pseudo-header) can
+/// skip staging them through a byte buffer.
+#[inline]
+pub fn fold_sum(mut sum: u64) -> u16 {
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }

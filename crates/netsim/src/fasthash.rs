@@ -74,6 +74,19 @@ pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 // simlint: allow(std-hash) — the definition of FastSet itself.
 pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
 
+/// A [`FastMap`] pre-sized for `capacity` entries. `FastMap::default()`
+/// starts empty and rehashes as it grows; builders that know their size
+/// (host populations, per-host caches) should reserve up front so setup
+/// never rehashes mid-registration.
+pub fn map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+/// A [`FastSet`] pre-sized for `capacity` entries (see [`map_with_capacity`]).
+pub fn set_with_capacity<T>(capacity: usize) -> FastSet<T> {
+    FastSet::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

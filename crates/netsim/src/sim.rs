@@ -31,13 +31,29 @@
 //! `EventKind` box their contents, and the boxes are recycled through a
 //! simulator-owned freelist (`BoxPool`) — an in-flight packet reuses the
 //! box of a previously delivered one. Wire bytes
-//! themselves come from the vendored `bytes` buffer pool (inline storage
-//! for ≤ 64 B, a thread-local `Arc<Vec<u8>>` freelist above that), so the
-//! steady-state encode → transmit → deliver path performs **zero heap
-//! allocations**. [`Simulator::new`] resets that pool, making the
-//! [`SimStats::pool_hits`]/[`SimStats::pool_misses`] counters a pure
+//! themselves come from the vendored `bytes` buffer pool (a 24-B handle:
+//! inline storage for ≤ 22 B, a thread-local `Arc<Vec<u8>>` freelist above
+//! that), so the steady-state encode → transmit → deliver path performs
+//! **zero heap allocations**. [`Simulator::new`] resets that pool, making
+//! the [`SimStats::pool_hits`]/[`SimStats::pool_misses`] counters a pure
 //! function of the simulation (determinism contract: identical for any
 //! worker count or thread reuse).
+//!
+//! ## Cache shape
+//!
+//! Beyond allocation, the loop is laid out for cache residency (see
+//! `docs/ARCHITECTURE.md` § "Hot-path data layout"): the host slab keeps
+//! each slot to 48 B by splitting every stack into an inline hot half and
+//! a boxed cold half ([`NetStack`]), and dispatch is **batched** — each
+//! same-instant wheel run is drained into a scratch ring in one motion and
+//! dispatched front to back, preserving the exact `(at, seq)` order (the
+//! one-event reference loop remains available via
+//! [`Simulator::set_batched_dispatch`] and the differential tests hold the
+//! two modes bit-identical).
+// simlint: hot-path — the dispatch loop, the SoA host slab and the send/
+// receive paths below run once per simulated event; the steady state is
+// allocation-free (pooled boxes, reused scratch buffers, inline `Bytes`),
+// and the allows mark the cold constructors and pool-miss refill paths.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -124,12 +140,69 @@ struct IpidSlot {
 
 /// Per-host network stack: fragmentation on send, reassembly and
 /// verification on receive, PMTUD bookkeeping, IPID assignment.
+///
+/// Laid out structure-of-arrays style across the host slab: the scalar
+/// state the event loop touches per packet ([`StackHot`]) sits inline in
+/// the slot, while the caches and config a packet only needs in the
+/// uncommon cases (fragments pending, PMTU learned, per-destination IPID)
+/// live behind one pointer in [`StackCold`]. A host slab entry is 48 B —
+/// 21 hosts per 1 KiB of cache — instead of the several hundred bytes the
+/// inline caches used to cost.
 #[derive(Debug)]
 pub struct NetStack {
+    hot: StackHot,
+    cold: Box<StackCold>,
+}
+
+/// The per-packet scalar state of a stack, kept inline in the host slab.
+///
+/// The mirrored flags exist so the common case — no fragments pending, no
+/// path MTU learned — never dereferences [`StackCold`]: they are updated
+/// whenever the cold state they summarise changes, and a conservatively
+/// stale `true` only costs the dereference (never correctness).
+#[derive(Debug)]
+struct StackHot {
+    /// Compact [`OsProfile::ipid`] discriminant (`IPID_*` below). The
+    /// per-destination modes carry a fourth state: "the counter for the
+    /// single tracked destination is cached inline" — the common
+    /// one-peer-conversation case assigns IPIDs without touching the cold
+    /// map at all.
+    ipid_mode: u8,
+    /// The inline IPID counter: the global-sequential counter, or (in
+    /// [`IPID_PER_DST_CACHED`] mode) the cached per-destination counter.
+    ipid_counter: u16,
+    /// Destination the cached per-destination counter belongs to.
+    ipid_cached_dst: u32,
+    /// Copy of [`OsProfile::interface_mtu`].
+    interface_mtu: u16,
+    /// Copy of [`OsProfile::min_fragment_size`].
+    min_fragment_size: u16,
+    /// Copy of [`OsProfile::accept_fragments`].
+    accept_fragments: bool,
+    /// True once the PMTU cache may hold entries (set by frag-needed).
+    pmtu_used: bool,
+    /// True while the defrag cache may hold pending reassemblies.
+    frag_pending: bool,
+}
+
+/// [`StackHot::ipid_mode`]: one global sequential counter.
+const IPID_GLOBAL: u8 = 0;
+/// [`StackHot::ipid_mode`]: uniformly random IPIDs.
+const IPID_RANDOM: u8 = 1;
+/// [`StackHot::ipid_mode`]: per-destination counters, all in the cold map.
+const IPID_PER_DST: u8 = 2;
+/// [`StackHot::ipid_mode`]: per-destination counters, and the map's single
+/// entry is cached in [`StackHot::ipid_counter`]/[`StackHot::ipid_cached_dst`]
+/// (the map entry's counter is stale until the cache is flushed back).
+const IPID_PER_DST_CACHED: u8 = 3;
+
+/// The cold half of a [`NetStack`]: per-host config and the caches only
+/// touched when their hot-side summary flag says so.
+#[derive(Debug)]
+struct StackCold {
     profile: OsProfile,
     defrag: DefragCache,
     pmtu: PmtuCache,
-    ipid_global: u16,
     ipid_per_dst: FastMap<Ipv4Addr, IpidSlot>,
     /// LRU order of `ipid_per_dst` accesses, lazily cleaned: entries whose
     /// tick no longer matches the map are stale and skipped on eviction.
@@ -137,6 +210,13 @@ pub struct NetStack {
     ipid_tick: u64,
     ipid_evictions: u64,
 }
+
+// The slab is the SoA hot lane: a slot must stay within one cache-line
+// pair. 48 = 4 (addr) + 16 (host vtable fat pointer) + 16 (StackHot,
+// padded) + 8 (cold pointer) + padding.
+const _: () = assert!(std::mem::size_of::<StackHot>() <= 16, "StackHot grew past 16 bytes");
+const _: () = assert!(std::mem::size_of::<NetStack>() <= 24, "NetStack grew past 24 bytes");
+const _: () = assert!(std::mem::size_of::<HostSlot>() <= 48, "HostSlot grew past 48 bytes");
 
 /// What a stack hands up after processing an arriving packet.
 #[derive(Debug)]
@@ -159,34 +239,102 @@ impl NetStack {
             IpidMode::GlobalSequential { start } | IpidMode::PerDestination { start } => start,
             IpidMode::Random => 0,
         };
+        // Pre-size the per-destination IPID table to its first plateau so
+        // steady traffic towards a handful of peers never rehashes.
+        let ipid_cap = match profile.ipid {
+            IpidMode::PerDestination { .. } => profile.ipid_cache_cap.min(16),
+            _ => 0,
+        };
         NetStack {
-            defrag: DefragCache::new(profile.defrag),
-            pmtu: PmtuCache::new(),
-            ipid_global: ipid_start,
-            ipid_per_dst: FastMap::default(),
-            ipid_lru: VecDeque::new(),
-            ipid_tick: 0,
-            ipid_evictions: 0,
-            profile,
+            hot: StackHot {
+                ipid_mode: match profile.ipid {
+                    IpidMode::GlobalSequential { .. } => IPID_GLOBAL,
+                    IpidMode::Random => IPID_RANDOM,
+                    IpidMode::PerDestination { .. } => IPID_PER_DST,
+                },
+                ipid_counter: ipid_start,
+                ipid_cached_dst: 0,
+                interface_mtu: profile.interface_mtu,
+                min_fragment_size: profile.min_fragment_size,
+                accept_fragments: profile.accept_fragments,
+                pmtu_used: false,
+                frag_pending: false,
+            },
+            // simlint: allow(hot-alloc) — cold constructor: one boxed
+            // cold half per host, at registration time.
+            cold: Box::new(StackCold {
+                defrag: DefragCache::new(profile.defrag),
+                pmtu: PmtuCache::new(),
+                ipid_per_dst: crate::fasthash::map_with_capacity(ipid_cap),
+                ipid_lru: VecDeque::new(),
+                ipid_tick: 0,
+                ipid_evictions: 0,
+                profile,
+            }),
         }
     }
 
     /// The profile this stack models.
     pub fn profile(&self) -> &OsProfile {
-        &self.profile
+        &self.cold.profile
     }
 
     /// Assigns the IPID for the next packet towards `dst`.
+    #[inline]
     pub fn next_ipid<R: Rng + ?Sized>(&mut self, dst: Ipv4Addr, rng: &mut R) -> u16 {
-        match self.profile.ipid {
-            IpidMode::GlobalSequential { .. } => {
-                let id = self.ipid_global;
-                self.ipid_global = self.ipid_global.wrapping_add(1);
+        match self.hot.ipid_mode {
+            IPID_PER_DST_CACHED if self.hot.ipid_cached_dst == u32::from(dst) => {
+                // The single tracked destination again: counter lives
+                // inline, no cold-map traffic at all.
+                let id = self.hot.ipid_counter;
+                self.hot.ipid_counter = id.wrapping_add(1);
                 id
             }
-            IpidMode::PerDestination { start } => self.next_ipid_per_dst(dst, start),
-            IpidMode::Random => rng.random(),
+            IPID_GLOBAL => {
+                let id = self.hot.ipid_counter;
+                self.hot.ipid_counter = id.wrapping_add(1);
+                id
+            }
+            IPID_RANDOM => rng.random(),
+            _ => self.next_ipid_per_dst_slow(dst),
         }
+    }
+
+    /// The per-destination miss path: flushes the inline cache back into
+    /// the map, runs the exact LRU-bounded algorithm, and re-caches the
+    /// counter inline whenever the map is back down to a single tracked
+    /// destination. Eviction requires `len > cap >= 1`, i.e. at least two
+    /// tracked destinations, so a cached (single-entry) stack can never
+    /// owe an eviction — deferring its map/LRU bookkeeping to the next
+    /// miss changes no observable ID, victim, or eviction count.
+    fn next_ipid_per_dst_slow(&mut self, dst: Ipv4Addr) -> u16 {
+        if self.hot.ipid_mode == IPID_PER_DST_CACHED {
+            let cached_dst = Ipv4Addr::from(self.hot.ipid_cached_dst);
+            let counter = self.hot.ipid_counter;
+            let cold = &mut *self.cold;
+            cold.ipid_tick += 1;
+            let tick = cold.ipid_tick;
+            let slot = cold.ipid_per_dst.get_mut(&cached_dst).expect("cached dst is tracked");
+            // One flush summarises the whole cached streak: the counter
+            // catches up and the destination keeps its most-recently-used
+            // rank (it *was* the last one touched before this miss).
+            slot.counter = counter;
+            slot.tick = tick;
+            cold.ipid_lru.push_back((tick, cached_dst));
+            self.hot.ipid_mode = IPID_PER_DST;
+        }
+        let IpidMode::PerDestination { start } = self.cold.profile.ipid else {
+            unreachable!("slow path only runs in per-destination mode")
+        };
+        let id = self.next_ipid_per_dst(dst, start);
+        if self.cold.ipid_per_dst.len() == 1 {
+            // Sole tracked destination (necessarily `dst`): move its
+            // counter inline until a different destination shows up.
+            self.hot.ipid_mode = IPID_PER_DST_CACHED;
+            self.hot.ipid_cached_dst = u32::from(dst);
+            self.hot.ipid_counter = id.wrapping_add(1);
+        }
+        id
     }
 
     /// Per-destination counter with an LRU-bounded table: spoofed-source
@@ -194,39 +342,40 @@ impl NetStack {
     /// [`OsProfile::ipid_cache_cap`] and the least-recently-used counter is
     /// evicted (and counted) past the cap.
     fn next_ipid_per_dst(&mut self, dst: Ipv4Addr, start: u16) -> u16 {
-        self.ipid_tick += 1;
-        let tick = self.ipid_tick;
-        let slot = self.ipid_per_dst.entry(dst).or_insert(IpidSlot { counter: start, tick });
+        let cold = &mut *self.cold;
+        cold.ipid_tick += 1;
+        let tick = cold.ipid_tick;
+        let slot = cold.ipid_per_dst.entry(dst).or_insert(IpidSlot { counter: start, tick });
         let id = slot.counter;
         slot.counter = slot.counter.wrapping_add(1);
         slot.tick = tick;
-        self.ipid_lru.push_back((tick, dst));
-        let cap = self.profile.ipid_cache_cap.max(1);
-        if self.ipid_per_dst.len() > cap {
-            while let Some((t, addr)) = self.ipid_lru.pop_front() {
-                if self.ipid_per_dst.get(&addr).is_some_and(|s| s.tick == t) {
-                    self.ipid_per_dst.remove(&addr);
-                    self.ipid_evictions += 1;
+        cold.ipid_lru.push_back((tick, dst));
+        let cap = cold.profile.ipid_cache_cap.max(1);
+        if cold.ipid_per_dst.len() > cap {
+            while let Some((t, addr)) = cold.ipid_lru.pop_front() {
+                if cold.ipid_per_dst.get(&addr).is_some_and(|s| s.tick == t) {
+                    cold.ipid_per_dst.remove(&addr);
+                    cold.ipid_evictions += 1;
                     break;
                 }
             }
         }
         // Compact the lazily-cleaned queue before stale entries dominate.
-        if self.ipid_lru.len() > 2 * cap + 64 {
-            let map = &self.ipid_per_dst;
-            self.ipid_lru.retain(|(t, addr)| map.get(addr).is_some_and(|s| s.tick == *t));
+        if cold.ipid_lru.len() > 2 * cap + 64 {
+            let map = &cold.ipid_per_dst;
+            cold.ipid_lru.retain(|(t, addr)| map.get(addr).is_some_and(|s| s.tick == *t));
         }
         id
     }
 
     /// Destinations currently tracked by the per-destination IPID table.
     pub fn ipid_tracked_destinations(&self) -> usize {
-        self.ipid_per_dst.len()
+        self.cold.ipid_per_dst.len()
     }
 
     /// IPID counters evicted past [`OsProfile::ipid_cache_cap`].
     pub fn ipid_evictions(&self) -> u64 {
-        self.ipid_evictions
+        self.cold.ipid_evictions
     }
 
     /// Encodes and (if needed) fragments a UDP datagram for the wire,
@@ -239,6 +388,8 @@ impl NetStack {
         dgram: &UdpDatagram,
         rng: &mut R,
     ) -> Vec<Ipv4Packet> {
+        // simlint: allow(hot-alloc) — convenience wrapper for tests and
+        // examples; the dispatch loop uses `send_udp_into` with scratch.
         let mut out = Vec::new();
         self.send_udp_into(now, src, dst, dgram, rng, &mut out);
         out
@@ -261,7 +412,14 @@ impl NetStack {
         };
         let id = self.next_ipid(dst, rng);
         let pkt = Ipv4Packet::udp(src, dst, id, udp_bytes);
-        let mtu = self.pmtu.mtu_towards(now, dst, self.profile.interface_mtu);
+        // `pmtu_used` is monotonic: until the first frag-needed arrives the
+        // PMTU cache is empty and the interface MTU applies, without
+        // touching the cold half at all.
+        let mtu = if self.hot.pmtu_used {
+            self.cold.pmtu.mtu_towards(now, dst, self.hot.interface_mtu)
+        } else {
+            self.hot.interface_mtu
+        };
         let _ = fragment_into(pkt, mtu, out);
     }
 
@@ -273,19 +431,30 @@ impl NetStack {
     /// zero-clone delivery path), storing fragments and slicing payloads
     /// out of the packet's shared buffer instead of copying.
     pub fn receive(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<StackOutput> {
-        if pkt.is_fragment() {
-            if !self.profile.accept_fragments {
+        let complete = if pkt.is_fragment() {
+            if !self.hot.accept_fragments {
                 return None;
             }
             // Size filtering applies to non-final fragments: a datagram's
             // last fragment is legitimately small, but a small *leading*
             // fragment is the signature of the tiny-fragment attacks that
             // filtering resolvers (Table V) drop.
-            if pkt.more_fragments && pkt.wire_len() < usize::from(self.profile.min_fragment_size) {
+            if pkt.more_fragments && pkt.wire_len() < usize::from(self.hot.min_fragment_size) {
                 return None;
             }
-        }
-        let complete = self.defrag.insert(now, pkt)?;
+            self.defrag_insert(now, pkt)?
+        } else if self.hot.frag_pending {
+            // Pending reassemblies: route through the cache so expiry runs
+            // and the flag refreshes.
+            self.defrag_insert(now, pkt)?
+        } else {
+            // Fast path for the common case: an unfragmented packet with an
+            // idle defrag cache passes straight through. Nothing can be
+            // pending (the flag is refreshed on every cache touch) and an
+            // empty cache has nothing to expire, so skipping it is
+            // behaviourally identical — and skips the cold half entirely.
+            pkt
+        };
         match complete.protocol {
             PROTO_UDP => {
                 let dgram =
@@ -310,6 +479,14 @@ impl NetStack {
         }
     }
 
+    /// Routes a packet through the defrag cache and refreshes the hot-side
+    /// pending flag from the cache's state afterwards.
+    fn defrag_insert(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<Ipv4Packet> {
+        let out = self.cold.defrag.insert(now, pkt);
+        self.hot.frag_pending = self.cold.defrag.pending_reassemblies() > 0;
+        out
+    }
+
     /// Updates the path-MTU cache from an ICMP frag-needed whose embedded
     /// original header claims this host (`self_addr`) sent a packet that did
     /// not fit. Plausibility check: embedded src must equal this host.
@@ -324,23 +501,27 @@ impl NetStack {
             let src = Ipv4Addr::new(original[12], original[13], original[14], original[15]);
             let dst = Ipv4Addr::new(original[16], original[17], original[18], original[19]);
             if src == self_addr {
-                self.pmtu.on_frag_needed(now, dst, mtu, &self.profile.pmtud);
+                self.hot.pmtu_used = true;
+                let cold = &mut *self.cold;
+                cold.pmtu.on_frag_needed(now, dst, mtu, &cold.profile.pmtud);
             }
             return;
         };
         if embedded.src == self_addr {
-            self.pmtu.on_frag_needed(now, embedded.dst, mtu, &self.profile.pmtud);
+            self.hot.pmtu_used = true;
+            let cold = &mut *self.cold;
+            cold.pmtu.on_frag_needed(now, embedded.dst, mtu, &cold.profile.pmtud);
         }
     }
 
     /// Current effective MTU towards `dst` (testing / introspection).
     pub fn mtu_towards(&mut self, now: SimTime, dst: Ipv4Addr) -> u16 {
-        self.pmtu.mtu_towards(now, dst, self.profile.interface_mtu)
+        self.cold.pmtu.mtu_towards(now, dst, self.hot.interface_mtu)
     }
 
     /// Access the defragmentation cache (testing / introspection).
     pub fn defrag(&self) -> &DefragCache {
-        &self.defrag
+        &self.cold.defrag
     }
 }
 
@@ -390,28 +571,35 @@ fn blank_dgram() -> UdpDatagram {
 
 impl BoxPool {
     /// Boxes `pkt`, reusing a recycled box when one is available.
+    #[inline]
     fn pkt(&mut self, pkt: Ipv4Packet) -> Box<Ipv4Packet> {
         match self.pkts.pop() {
             Some(mut b) => {
                 *b = pkt;
                 b
             }
+            // simlint: allow(hot-alloc) — pool miss: first few sends only,
+            // then every box recirculates.
             None => Box::new(pkt),
         }
     }
 
     /// Boxes `dgram`, reusing a recycled box when one is available.
+    #[inline]
     fn dgram(&mut self, dgram: UdpDatagram) -> Box<UdpDatagram> {
         match self.dgrams.pop() {
             Some(mut b) => {
                 *b = dgram;
                 b
             }
+            // simlint: allow(hot-alloc) — pool miss: first few sends only,
+            // then every box recirculates.
             None => Box::new(dgram),
         }
     }
 
     /// Takes the packet out of its box and parks the box for reuse.
+    #[inline]
     fn unbox_pkt(&mut self, mut b: Box<Ipv4Packet>) -> Ipv4Packet {
         let pkt = std::mem::replace(&mut *b, blank_pkt());
         if self.pkts.len() < BOX_POOL_CAP {
@@ -421,6 +609,7 @@ impl BoxPool {
     }
 
     /// Takes the datagram out of its box and parks the box for reuse.
+    #[inline]
     fn unbox_dgram(&mut self, mut b: Box<UdpDatagram>) -> UdpDatagram {
         let dgram = std::mem::replace(&mut *b, blank_dgram());
         if self.dgrams.len() < BOX_POOL_CAP {
@@ -464,6 +653,8 @@ impl<'a> Ctx<'a> {
 
     /// Sends an ICMP message from this host.
     pub fn send_icmp(&mut self, dst: Ipv4Addr, msg: IcmpMessage) {
+        // simlint: allow(hot-alloc) — ICMP is the rare error path (frag
+        // needed, port unreachable), not the per-event datagram path.
         self.actions.push(Action::SendIcmp { dst, msg: Box::new(msg) });
     }
 
@@ -556,10 +747,35 @@ enum EventKind {
 }
 
 /// One slab slot: a host, its stack, and the address they answer to.
+/// Slots pack the per-event scalar state contiguously (see [`NetStack`]);
+/// the 48-B budget is asserted next to [`StackHot`].
 struct HostSlot {
     addr: Ipv4Addr,
     host: Box<dyn Host>,
     stack: NetStack,
+}
+
+// Ripple asserts down the move path: a `Datagram` is cloned into host
+// callbacks and the packet/datagram structs move wire → stack → host, so
+// the `Bytes` diet (72 → 24 B) must show up here too or it bought nothing.
+const _: () = assert!(std::mem::size_of::<Datagram>() <= 40, "Datagram grew past 40 bytes");
+
+/// Sizes of the types moved per event on the hot path, including the
+/// crate-private dispatch enums and slab slot: the bench records these in
+/// `BENCH_engine.json` so layout regressions are visible in the perf
+/// trajectory, not just as a compile error.
+pub fn hot_struct_sizes() -> [(&'static str, usize); 8] {
+    use std::mem::size_of;
+    [
+        ("Bytes", size_of::<Bytes>()),
+        ("Ipv4Packet", size_of::<Ipv4Packet>()),
+        ("UdpDatagram", size_of::<UdpDatagram>()),
+        ("Datagram", size_of::<Datagram>()),
+        ("Action", size_of::<Action>()),
+        ("EventKind", size_of::<EventKind>()),
+        ("StackHot", size_of::<StackHot>()),
+        ("HostSlot", size_of::<HostSlot>()),
+    ]
 }
 
 /// The deterministic discrete-event simulator.
@@ -591,8 +807,24 @@ pub struct Simulator {
     scratch: Vec<Action>,
     /// Reusable fragment buffer for the send path (no per-send allocation).
     pkt_scratch: Vec<Ipv4Packet>,
+    /// Scratch ring for batched dispatch: a whole same-instant wheel run is
+    /// drained here, then dispatched front to back.
+    batch: Vec<EventKind>,
+    /// Events drained into `batch` but not yet dispatched; they still count
+    /// as "scheduled, not dispatched" for [`SimStats::peak_queue_depth`].
+    batch_pending: u64,
+    /// Batched slot-drain dispatch on (default) or the one-event-at-a-time
+    /// reference loop (kept for the differential test suite).
+    batched: bool,
     /// Recycled boxes for the boxed `Action`/`EventKind` variants.
     boxes: BoxPool,
+    /// Per-origin last-destination cache, indexed by sender [`HostId`]:
+    /// the address the host last sent to and the id it resolved to. Hosts
+    /// overwhelmingly re-send to one peer (a forwarder's next hop, a
+    /// stub's resolver, the resolver's nameserver), so this turns the
+    /// per-send address lookup into an indexed compare. Safe because the
+    /// address table is insert-only — a resolved id never goes stale.
+    route_cache: Vec<(Ipv4Addr, HostId)>,
     max_events: u64,
 }
 
@@ -610,14 +842,23 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             queue: TimingWheel::new(),
+            // simlint: allow(hot-alloc) — cold constructor: empty.
             slots: Vec::new(),
             addr_to_id: FastMap::default(),
             topology: Topology::default(),
             rng: SmallRng::seed_from_u64(seed),
             stats: SimStats::default(),
+            // simlint: allow(hot-alloc) — cold constructor: empty.
             scratch: Vec::new(),
+            // simlint: allow(hot-alloc) — cold constructor: empty.
             pkt_scratch: Vec::new(),
+            // simlint: allow(hot-alloc) — cold constructor: empty.
+            batch: Vec::new(),
+            batch_pending: 0,
+            batched: true,
             boxes: BoxPool::default(),
+            // simlint: allow(hot-alloc) — cold constructor: empty.
+            route_cache: Vec::new(),
             max_events: u64::MAX,
         }
     }
@@ -666,6 +907,15 @@ impl Simulator {
         &mut self.topology
     }
 
+    /// Pre-sizes the host slab and address interner for `additional` more
+    /// hosts, so bulk registration (population builders, benches) never
+    /// rehashes or regrows mid-setup.
+    pub fn reserve_hosts(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+        self.addr_to_id.reserve(additional);
+        self.route_cache.reserve(additional);
+    }
+
     /// Registers a host at `addr` with the given OS profile and returns its
     /// dense [`HostId`].
     ///
@@ -684,6 +934,9 @@ impl Simulator {
         let id = HostId(u32::try_from(self.slots.len()).expect("fewer than 2^32 hosts"));
         self.addr_to_id.insert(addr, id);
         self.slots.push(HostSlot { addr, host, stack: NetStack::new(profile) });
+        // Seed the route cache with a self-entry: valid (the address is
+        // registered) and overwritten by the first real send.
+        self.route_cache.push((addr, id));
         let at = self.now;
         self.push_event(at, EventKind::Start { host: id });
         Ok(id)
@@ -732,15 +985,58 @@ impl Simulator {
 
     /// Dispatches queued events up to `deadline` within the event budget,
     /// leaving `now` at the last dispatched event.
+    ///
+    /// Batched mode drains each same-instant wheel run into a scratch ring
+    /// in one motion and dispatches it front to back, so the loop crosses
+    /// the wheel once per *instant* instead of once per event and
+    /// consecutive events for the same host hit a slab slot that is still
+    /// cache-resident. The dispatch order is identical to the reference
+    /// loop below: a run is complete when drained (every queued event at
+    /// that instant is in the wheel's ready run — see
+    /// [`TimingWheel::pop_run_into`]), and anything a handler schedules
+    /// carries a later `(at, seq)` key, so it lands after the run.
     fn drain_until(&mut self, deadline: SimTime) {
-        while let Some(at) = self.queue.peek() {
-            if at > deadline || self.stats.events_dispatched >= self.max_events {
+        if !self.batched {
+            // Reference loop: one wheel pop per event. The differential
+            // suite pins batched dispatch to this order bit for bit.
+            while let Some(at) = self.queue.peek() {
+                if at > deadline || self.stats.events_dispatched >= self.max_events {
+                    break;
+                }
+                let (at, kind) = self.queue.pop().expect("peeked event exists");
+                self.now = self.now.max(at);
+                self.dispatch(kind);
+            }
+            return;
+        }
+        loop {
+            let remaining = self.max_events.saturating_sub(self.stats.events_dispatched);
+            if remaining == 0 {
                 break;
             }
-            let (at, kind) = self.queue.pop().expect("peeked event exists");
+            let limit = usize::try_from(remaining).unwrap_or(usize::MAX);
+            let mut batch = std::mem::take(&mut self.batch);
+            debug_assert!(batch.is_empty());
+            let run_at = self.queue.pop_run_into(deadline, limit, &mut batch);
+            let Some(at) = run_at else {
+                self.batch = batch;
+                break;
+            };
             self.now = self.now.max(at);
-            self.dispatch(kind);
+            self.batch_pending = batch.len() as u64;
+            for kind in batch.drain(..) {
+                self.batch_pending -= 1;
+                self.dispatch(kind);
+            }
+            self.batch = batch;
         }
+    }
+
+    /// Selects batched (default) or one-event-at-a-time dispatch. Both
+    /// produce bit-identical event order, stats, and RNG consumption; the
+    /// reference loop exists so tests can prove exactly that.
+    pub fn set_batched_dispatch(&mut self, batched: bool) {
+        self.batched = batched;
     }
 
     /// Runs for a span of simulated time.
@@ -770,7 +1066,10 @@ impl Simulator {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         self.queue.schedule(at, kind);
-        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
+        // Count events drained into the batch ring but not yet dispatched,
+        // so the high-water mark is identical in both dispatch modes.
+        let depth = self.queue.len() as u64 + self.batch_pending;
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(depth);
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -794,22 +1093,25 @@ impl Simulator {
                 };
                 self.stats.packets_delivered += 1;
                 // Raw tap first: attacker-style hosts observe headers.
-                let mut actions = std::mem::take(&mut self.scratch);
-                let mut boxes = std::mem::take(&mut self.boxes);
+                // `Ctx` split-borrows the scratch buffers in place; only
+                // the action vec (three words) moves out for the apply
+                // step, which needs `&mut self` again.
                 let consumed = {
                     let slot = &mut self.slots[id.index()];
                     let mut ctx = Ctx {
                         now: self.now,
                         addr: slot.addr,
                         rng: &mut self.rng,
-                        actions: &mut actions,
-                        boxes: &mut boxes,
+                        actions: &mut self.scratch,
+                        boxes: &mut self.boxes,
                     };
                     slot.host.on_raw_packet(&mut ctx, &pkt)
                 };
-                self.boxes = boxes;
-                self.apply_actions(id, &mut actions);
-                self.scratch = actions;
+                if !self.scratch.is_empty() {
+                    let mut actions = std::mem::take(&mut self.scratch);
+                    self.apply_actions(id, &mut actions);
+                    self.scratch = actions;
+                }
                 if consumed {
                     return;
                 }
@@ -839,16 +1141,17 @@ impl Simulator {
     }
 
     fn call_host(&mut self, id: HostId, input: HostInput) {
-        let mut actions = std::mem::take(&mut self.scratch);
-        let mut boxes = std::mem::take(&mut self.boxes);
+        // Split-borrow, not `mem::take`: the host callback runs against
+        // the scratch buffers in place, and only the action vec (three
+        // words) is moved out for the apply step afterwards.
         {
             let slot = &mut self.slots[id.index()];
             let mut ctx = Ctx {
                 now: self.now,
                 addr: slot.addr,
                 rng: &mut self.rng,
-                actions: &mut actions,
-                boxes: &mut boxes,
+                actions: &mut self.scratch,
+                boxes: &mut self.boxes,
             };
             match input {
                 HostInput::Start => slot.host.on_start(&mut ctx),
@@ -857,9 +1160,11 @@ impl Simulator {
                 HostInput::Timer(token) => slot.host.on_timer(&mut ctx, token),
             }
         }
-        self.boxes = boxes;
-        self.apply_actions(id, &mut actions);
-        self.scratch = actions;
+        if !self.scratch.is_empty() {
+            let mut actions = std::mem::take(&mut self.scratch);
+            self.apply_actions(id, &mut actions);
+            self.scratch = actions;
+        }
     }
 
     /// Drains `actions`, leaving the buffer empty (ready for reuse).
@@ -884,7 +1189,7 @@ impl Simulator {
                     // the box goes back to the pool for the next send.
                     drop(self.boxes.unbox_dgram(dgram));
                     for pkt in pkts.drain(..) {
-                        self.transmit(origin_addr, pkt);
+                        self.transmit(origin, origin_addr, pkt);
                     }
                     self.pkt_scratch = pkts;
                 }
@@ -894,11 +1199,11 @@ impl Simulator {
                         slot.stack.next_ipid(dst, &mut self.rng)
                     };
                     let pkt = Ipv4Packet::icmp(origin_addr, dst, id, msg.encode());
-                    self.transmit(origin_addr, pkt);
+                    self.transmit(origin, origin_addr, pkt);
                 }
                 Action::SendRaw(pkt) => {
                     let pkt = self.boxes.unbox_pkt(pkt);
-                    self.transmit(origin_addr, pkt);
+                    self.transmit(origin, origin_addr, pkt);
                 }
                 Action::SetTimer { at, token } => {
                     self.push_event(at, EventKind::Timer { host: origin, token });
@@ -907,14 +1212,29 @@ impl Simulator {
         }
     }
 
-    /// Puts a packet on the wire from the physical location `origin`.
-    fn transmit(&mut self, origin: Ipv4Addr, pkt: Ipv4Packet) {
+    /// Puts a packet on the wire from the physical location `origin_addr`
+    /// (the host `origin`'s interface).
+    fn transmit(&mut self, origin: HostId, origin_addr: Ipv4Addr, pkt: Ipv4Packet) {
         self.stats.packets_sent += 1;
-        let link = self.topology.link(origin, pkt.dst);
+        let link = self.topology.link(origin_addr, pkt.dst);
         match link.sample(&mut self.rng) {
             Some(delay) => {
                 let at = self.now + delay;
-                let dst = self.host_id(pkt.dst);
+                // Destination resolution goes through the sender's
+                // last-destination cache; on a miss the full lookup runs
+                // and (if it resolves) refills the entry. An unregistered
+                // destination is never cached — it may be registered while
+                // the packet is in flight, and arrival re-resolves `None`.
+                let cached = &mut self.route_cache[origin.index()];
+                let dst = if cached.0 == pkt.dst {
+                    Some(cached.1)
+                } else {
+                    let resolved = self.addr_to_id.get(&pkt.dst).copied();
+                    if let Some(id) = resolved {
+                        *cached = (pkt.dst, id);
+                    }
+                    resolved
+                };
                 let pkt = self.boxes.pkt(pkt);
                 self.push_event(at, EventKind::Arrival { dst, pkt });
             }

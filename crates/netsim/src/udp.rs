@@ -27,6 +27,10 @@ pub struct UdpDatagram {
     pub payload: Bytes,
 }
 
+// Datagrams ride `Action::SendUdp` by value: 32 B = two ports (padded) +
+// the 24-B `Bytes` handle. See the matching assert on `Ipv4Packet`.
+const _: () = assert!(std::mem::size_of::<UdpDatagram>() <= 32, "UdpDatagram grew past 32 bytes");
+
 impl UdpDatagram {
     /// Creates a datagram.
     pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
@@ -49,16 +53,43 @@ impl UdpDatagram {
         if len > usize::from(u16::MAX) {
             return Err(WireError::Oversize { len });
         }
-        let mut buf = BytesMut::with_capacity(len);
-        buf.put_u16(self.src_port);
-        buf.put_u16(self.dst_port);
-        buf.put_u16(len as u16);
-        buf.put_u16(0); // checksum placeholder
-        buf.put_slice(&self.payload);
-        let ck = Self::compute_checksum(&buf, src, dst);
+        // The checksum is computed *before* the header is written: the
+        // header's contribution (ports + length, checksum field zero) is
+        // four words already sitting in registers, so only the payload is
+        // summed from memory. The header then goes out as one 8-byte write
+        // with the final checksum in place — no placeholder, no patch-up.
+        let len16 = len as u16;
+        let s = u64::from(u32::from(src));
+        let d = u64::from(u32::from(dst));
+        let sum = (s >> 16)
+            + (s & 0xFFFF)
+            + (d >> 16)
+            + (d & 0xFFFF)
+            + u64::from(PROTO_UDP)
+            + 2 * u64::from(len16) // pseudo-header length + header length word
+            + u64::from(self.src_port)
+            + u64::from(self.dst_port)
+            + u64::from(checksum::ones_complement_sum(&self.payload));
+        let ck = !checksum::fold_sum(sum);
         // Per RFC 768 a computed checksum of zero is transmitted as 0xFFFF.
         let ck = if ck == 0 { 0xFFFF } else { ck };
-        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+        let sp = self.src_port.to_be_bytes();
+        let dp = self.dst_port.to_be_bytes();
+        let ln = len16.to_be_bytes();
+        let cb = ck.to_be_bytes();
+        let hdr = [sp[0], sp[1], dp[0], dp[1], ln[0], ln[1], cb[0], cb[1]];
+        // Datagrams that fit a `Bytes` inline buffer (NTP mode 3/4 probes,
+        // short DNS queries) assemble in a stack array and never touch the
+        // buffer pool; larger ones go through `BytesMut` as before.
+        if len <= bytes::INLINE_CAP {
+            let mut wire = [0u8; bytes::INLINE_CAP];
+            wire[..UDP_HEADER_LEN].copy_from_slice(&hdr);
+            wire[UDP_HEADER_LEN..len].copy_from_slice(&self.payload);
+            return Ok(Bytes::copy_from_slice(&wire[..len]));
+        }
+        let mut buf = BytesMut::with_capacity(len);
+        buf.put_slice(&hdr);
+        buf.put_slice(&self.payload);
         Ok(buf.freeze())
     }
 
@@ -131,18 +162,23 @@ impl UdpDatagram {
     /// the segment's sum in ones'-complement arithmetic — no allocation,
     /// no copy of the segment (this runs twice per packet on the hot path:
     /// once on encode, once on verify).
+    #[inline]
     pub fn compute_checksum(segment: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> u16 {
-        let mut pseudo = [0u8; 12];
-        pseudo[0..4].copy_from_slice(&src.octets());
-        pseudo[4..8].copy_from_slice(&dst.octets());
-        pseudo[9] = PROTO_UDP;
-        pseudo[10..12].copy_from_slice(&(segment.len() as u16).to_be_bytes());
-        // Both parts are even-length, so word alignment is preserved and
-        // the ones'-complement sums combine exactly.
-        !checksum::oc_add(
-            checksum::ones_complement_sum(&pseudo),
-            checksum::ones_complement_sum(segment),
-        )
+        // The pseudo-header is six 16-bit words — the address halves, the
+        // protocol and the length — summed directly from registers rather
+        // than staged through a stack buffer (this runs twice per packet
+        // on the hot path: once on encode, once on verify). Word alignment
+        // of the even-length pseudo-header is preserved, so the
+        // ones'-complement sums combine exactly.
+        let s = u64::from(u32::from(src));
+        let d = u64::from(u32::from(dst));
+        let pseudo = (s >> 16)
+            + (s & 0xFFFF)
+            + (d >> 16)
+            + (d & 0xFFFF)
+            + u64::from(PROTO_UDP)
+            + segment.len() as u64;
+        !checksum::oc_add(checksum::fold_sum(pseudo), checksum::ones_complement_sum(segment))
     }
 }
 

@@ -34,6 +34,27 @@ pub const TEST_PATH_MARKERS: &[&str] = &["tests/", "benches/"];
 pub const HOT_ENUMS: &[(&str, &[&str])] =
     &[("crates/netsim", &["Action", "EventKind"]), ("vendor/bytes", &["Repr", "MutRepr"])];
 
+/// Structs on the hot list with explicit byte budgets (R6): every one
+/// must have a compile-time `size_of::<Name>() <= N` assertion in its
+/// crate with `N` no larger than the budget here. These are the types the
+/// event loop moves per event; the budgets are the cache-shape contract
+/// `BENCH_engine.json` records `ns_per_move` against.
+/// Format: (crate directory, [(struct name, max bytes)]).
+pub const HOT_STRUCTS: &[(&str, &[(&str, u64)])] = &[
+    (
+        "crates/netsim",
+        &[
+            ("Ipv4Packet", 40),
+            ("UdpDatagram", 32),
+            ("Datagram", 40),
+            ("NetStack", 24),
+            ("StackHot", 16),
+            ("HostSlot", 48),
+        ],
+    ),
+    ("vendor/bytes", &[("Bytes", 24)]),
+];
+
 /// Every rule simlint knows, by id. `allow(...)` comments naming
 /// anything else are themselves an error.
 pub const RULES: &[&str] =

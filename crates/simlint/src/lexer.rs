@@ -29,8 +29,9 @@ pub enum TokKind {
     Punct(char),
     /// Any string-ish literal (string, raw string, byte string, char).
     Literal,
-    /// Numeric literal (value irrelevant to every rule).
-    Number,
+    /// Numeric literal, with its raw text (the enum-size budgets read
+    /// the value; suffixes and `_` separators are kept verbatim).
+    Number(String),
     /// A lifetime such as `'a` (distinguished from char literals).
     Lifetime,
 }
@@ -56,6 +57,19 @@ impl Tok {
     /// True when this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
+    }
+
+    /// The numeric value, if this token is an integer literal (underscore
+    /// separators and a type suffix are tolerated).
+    pub fn number(&self) -> Option<u64> {
+        match &self.kind {
+            TokKind::Number(raw) => {
+                let digits: String =
+                    raw.chars().take_while(|c| c.is_ascii_digit() || *c == '_').collect();
+                digits.replace('_', "").parse().ok()
+            }
+            _ => None,
+        }
     }
 }
 
@@ -300,17 +314,19 @@ pub fn lex(source: &str) -> Lexed {
             }
             continue;
         }
-        // Numbers (suffixes and separators folded in; rules never read them).
+        // Numbers (suffixes and separators kept in the raw text).
         if c.is_ascii_digit() {
             let span = cur.span();
+            let mut raw = String::new();
             while let Some(c) = cur.peek() {
                 if c.is_alphanumeric() || c == '_' {
+                    raw.push(c);
                     cur.bump();
                 } else {
                     break;
                 }
             }
-            out.toks.push(Tok { kind: TokKind::Number, span });
+            out.toks.push(Tok { kind: TokKind::Number(raw), span });
             continue;
         }
         // Everything else: single punctuation character.

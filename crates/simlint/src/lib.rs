@@ -73,6 +73,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         diags.extend(rules::lint_lexed(label, lexed));
     }
     diags.extend(rules::check_enum_sizes(&lexed_files));
+    diags.extend(rules::check_struct_budgets(&lexed_files));
     diags.sort_by_key(Diagnostic::sort_key);
     Ok(diags)
 }

@@ -459,6 +459,95 @@ pub fn check_enum_sizes(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
     diags
 }
 
+/// R6 (structs) — every hot-list struct must carry a compile-time size
+/// assertion whose bound stays within the byte budget in
+/// [`config::HOT_STRUCTS`]. An assertion with a *looser* bound than the
+/// budget is as much a violation as a missing one: the budget table is
+/// the single place the cache-shape contract can be renegotiated.
+pub fn check_struct_budgets(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &(crate_dir, structs) in config::HOT_STRUCTS {
+        let in_crate: Vec<&(String, Lexed)> =
+            files.iter().filter(|(p, _)| p.starts_with(&format!("{crate_dir}/"))).collect();
+        if in_crate.is_empty() {
+            continue; // crate not part of this lint invocation
+        }
+        for &(name, budget) in structs {
+            let mut def: Option<(String, u32, u32)> = None;
+            // The tightest asserted bound found anywhere in the crate.
+            let mut asserted_bound: Option<u64> = None;
+            for (path, lexed) in &in_crate {
+                let toks = &lexed.toks;
+                for (i, t) in toks.iter().enumerate() {
+                    if t.ident() == Some("struct")
+                        && toks.get(i + 1).and_then(Tok::ident) == Some(name)
+                    {
+                        let s = toks[i + 1].span;
+                        def.get_or_insert((path.clone(), s.line, s.col));
+                    }
+                    // `… const _ … size_of::<Name>() <= N` — capture N.
+                    if t.ident() == Some("size_of")
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+                        && toks.get(i + 4).and_then(Tok::ident) == Some(name)
+                        && toks.get(i + 5).is_some_and(|t| t.is_punct('>'))
+                        && toks.get(i + 6).is_some_and(|t| t.is_punct('('))
+                        && toks.get(i + 7).is_some_and(|t| t.is_punct(')'))
+                        && toks.get(i + 8).is_some_and(|t| t.is_punct('<'))
+                        && toks.get(i + 9).is_some_and(|t| t.is_punct('='))
+                    {
+                        let window = &toks[i.saturating_sub(40)..i];
+                        if window.iter().any(|t| t.ident() == Some("const")) {
+                            if let Some(n) = toks.get(i + 10).and_then(Tok::number) {
+                                asserted_bound = Some(asserted_bound.map_or(n, |prev| prev.min(n)));
+                            }
+                        }
+                    }
+                }
+            }
+            match (def, asserted_bound) {
+                (None, _) => diags.push(Diagnostic {
+                    path: crate_dir.into(),
+                    line: 0,
+                    col: 0,
+                    rule: "enum-size",
+                    message: format!(
+                        "hot-list struct `{name}` is not defined in this crate — \
+                         update simlint's HOT_STRUCTS table"
+                    ),
+                }),
+                (Some((path, line, col)), None) => diags.push(Diagnostic {
+                    path,
+                    line,
+                    col,
+                    rule: "enum-size",
+                    message: format!(
+                        "struct `{name}` is on the hot list (budget {budget} bytes) but its \
+                         crate has no compile-time size assertion — add \
+                         `const _: () = assert!(std::mem::size_of::<{name}>() <= {budget});`"
+                    ),
+                }),
+                (Some((path, line, col)), Some(bound)) if bound > budget => {
+                    diags.push(Diagnostic {
+                        path,
+                        line,
+                        col,
+                        rule: "enum-size",
+                        message: format!(
+                            "struct `{name}` asserts `size_of <= {bound}` but the hot-list \
+                             budget is {budget} bytes — tighten the assertion or renegotiate \
+                             the budget in simlint's HOT_STRUCTS table"
+                        ),
+                    });
+                }
+                (Some(_), Some(_)) => {}
+            }
+        }
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,5 +808,58 @@ mod tests {
              (std::mem::size_of::<Action>(), std::mem::size_of::<EventKind>())\n}\n",
         )]);
         assert_eq!(check_enum_sizes(&files).len(), 2);
+    }
+
+    // ---- R6: struct byte budgets ----
+
+    #[test]
+    fn budgeted_struct_passes_only_with_a_tight_enough_bound() {
+        let ok = lexed_files(&[(
+            "vendor/bytes/src/lib.rs",
+            "pub struct Bytes { repr: Repr }\n\
+             const _: () = assert!(std::mem::size_of::<Bytes>() <= 24);\n",
+        )]);
+        assert_eq!(check_struct_budgets(&ok), vec![]);
+
+        // An assertion looser than the budget is a violation: the budget
+        // table is the only place the cache-shape contract is renegotiated.
+        let loose = lexed_files(&[(
+            "vendor/bytes/src/lib.rs",
+            "pub struct Bytes { repr: Repr }\n\
+             const _: () = assert!(std::mem::size_of::<Bytes>() <= 32);\n",
+        )]);
+        let diags = check_struct_budgets(&loose);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("<= 32"));
+        assert!(diags[0].message.contains("24"));
+    }
+
+    #[test]
+    fn budgeted_struct_without_assertion_fires_at_its_definition() {
+        let files =
+            lexed_files(&[("vendor/bytes/src/lib.rs", "pub struct Bytes { repr: Repr }\n")]);
+        let diags = check_struct_budgets(&files);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].rule, diags[0].line), ("enum-size", 1));
+        assert!(diags[0].message.contains("`Bytes`"));
+    }
+
+    #[test]
+    fn missing_budgeted_struct_is_reported_as_stale_config() {
+        let files = lexed_files(&[("vendor/bytes/src/lib.rs", "pub struct Other;\n")]);
+        let diags = check_struct_budgets(&files);
+        assert!(diags.iter().any(|d| d.message.contains("HOT_STRUCTS")));
+    }
+
+    #[test]
+    fn tightest_bound_wins_across_multiple_assertions() {
+        // A loose equality-style bound elsewhere doesn't mask a tight one.
+        let files = lexed_files(&[(
+            "vendor/bytes/src/lib.rs",
+            "pub struct Bytes { repr: Repr }\n\
+             const _: () = assert!(std::mem::size_of::<Bytes>() <= 64);\n\
+             const _: () = assert!(std::mem::size_of::<Bytes>() <= 24);\n",
+        )]);
+        assert_eq!(check_struct_budgets(&files), vec![]);
     }
 }

@@ -11,8 +11,10 @@
 //! path:
 //!
 //! * **Inline small buffers (SSO)** — payloads of at most [`INLINE_CAP`]
-//!   (64) bytes are stored inline in the `Bytes`/`BytesMut` value itself.
-//!   Creating, freezing, slicing and dropping them never touches the heap.
+//!   (22) bytes are stored inline in the `Bytes`/`BytesMut` value itself.
+//!   Creating, freezing, slicing and dropping them never touches the heap,
+//!   and the whole handle still fits in 24 bytes — three words — so moving
+//!   a `Bytes` through the event queue costs the same as moving a `Vec`.
 //! * **Thread-local freelists ([`pool`])** — larger buffers build in a
 //!   plain `Vec<u8>` and freeze into an `Arc<Vec<u8>>`. When the last
 //!   `Bytes` referencing a backing store drops, the pair is taken apart
@@ -36,10 +38,15 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Largest payload stored inline in a [`Bytes`]/[`BytesMut`] value (the
-/// small-string-optimisation threshold). Chosen to cover the simulator's
-/// small hot buffers: UDP headers, NTP mode-3/4 packets (48 B), ICMP echo
-/// probes and short application payloads.
-pub const INLINE_CAP: usize = 64;
+/// small-string-optimisation threshold). Sized so the whole `Bytes` handle
+/// is 24 bytes — the inline window is exactly what fits beside the length
+/// and discriminant. That still covers UDP headers, ICMP echo probes and
+/// short application payloads; anything larger (48-B NTP packets, DNS
+/// responses) rides the thread-local freelists instead, which stay
+/// allocation-free in steady state. The old 64-B window made every
+/// `Bytes` move a 72-B memcpy on the event hot path — see
+/// `docs/ARCHITECTURE.md` § "Hot-path data layout".
+pub const INLINE_CAP: usize = 22;
 
 pub mod pool;
 
@@ -87,19 +94,28 @@ enum Repr {
     },
     /// Invariant: `arc` is `Some` for the lifetime of the value (the
     /// `Option` exists so [`Drop`] can move the `Arc` out for recycling).
+    /// The `[start, end)` window is `u32`: backing stores are wire
+    /// buffers, never anywhere near 4 GiB (checked at construction).
     Shared {
         arc: Option<Arc<Vec<u8>>>,
-        start: usize,
-        end: usize,
+        start: u32,
+        end: u32,
     },
 }
 
 // The engine moves packets (and therefore their `Bytes` payloads) by
 // value on the deliver/reassemble path, so every byte of these reprs is
-// memcpy'd per hop. 72 B = the 64-B inline buffer + len + discriminant;
-// ROADMAP item 4 wants this *smaller*, so growth is a compile error.
-const _: () = assert!(std::mem::size_of::<Repr>() <= 72, "Bytes repr grew past 72 bytes");
+// memcpy'd per hop. 24 B = tag + 22-B inline window on one arm, tag +
+// (8-B arc + two u32 offsets) on the other; growth is a compile error.
+const _: () = assert!(std::mem::size_of::<Repr>() <= 24, "Bytes repr grew past 24 bytes");
+const _: () = assert!(std::mem::size_of::<Bytes>() <= 24, "Bytes grew past 24 bytes");
 const _: () = assert!(std::mem::size_of::<Bytes>() == std::mem::size_of::<Repr>());
+
+/// Converts a buffer offset to the `u32` stored in `Repr::Shared`.
+#[inline]
+fn offset32(n: usize) -> u32 {
+    u32::try_from(n).expect("Bytes backing store exceeds u32 offsets")
+}
 
 /// Builds an inline repr from a short slice (no stats counted — callers
 /// that *serve* a new buffer count it themselves).
@@ -139,7 +155,7 @@ impl Bytes {
     pub fn len(&self) -> usize {
         match &self.repr {
             Repr::Inline { len, .. } => usize::from(*len),
-            Repr::Shared { start, end, .. } => end - start,
+            Repr::Shared { start, end, .. } => (end - start) as usize,
         }
     }
 
@@ -173,7 +189,11 @@ impl Bytes {
                 Bytes { repr: Repr::Inline { len: (end - begin) as u8, buf: b } }
             }
             Repr::Shared { arc, start, .. } => Bytes {
-                repr: Repr::Shared { arc: arc.clone(), start: start + begin, end: start + end },
+                repr: Repr::Shared {
+                    arc: arc.clone(),
+                    start: start + offset32(begin),
+                    end: start + offset32(end),
+                },
             },
         }
     }
@@ -207,7 +227,7 @@ impl Bytes {
         match &self.repr {
             Repr::Inline { len, buf } => &buf[..usize::from(*len)],
             Repr::Shared { arc, start, end } => {
-                &arc.as_ref().expect("backing store present")[*start..*end]
+                &arc.as_ref().expect("backing store present")[*start as usize..*end as usize]
             }
         }
     }
@@ -280,7 +300,7 @@ impl From<Vec<u8>> for Bytes {
             // Adopt the existing allocation in a fresh shell (a miss: the
             // pool served neither the storage nor the control block).
             pool::note_adopt_miss();
-            let end = v.len();
+            let end = offset32(v.len());
             Bytes { repr: Repr::Shared { arc: Some(Arc::new(v)), start: 0, end } }
         }
     }
@@ -394,8 +414,9 @@ enum MutRepr {
     },
 }
 
-// Builders move at freeze time; same budget as the frozen repr.
-const _: () = assert!(std::mem::size_of::<MutRepr>() <= 72, "BytesMut repr grew past 72 bytes");
+// Builders move at freeze time; the pooled arm (24-B vec + 8-B shell +
+// tag) dominates, but must still stay well under a cache line.
+const _: () = assert!(std::mem::size_of::<MutRepr>() <= 40, "BytesMut repr grew past 40 bytes");
 
 impl BytesMut {
     /// Creates a new empty `BytesMut` (inline: no allocation).
@@ -420,9 +441,11 @@ impl BytesMut {
     }
 
     /// Moves inline contents into pooled storage with room for `capacity`.
+    /// Pooled stores start at 64 B so incremental writers (packet encoders)
+    /// don't regrow a tiny vec right after spilling.
     fn spill(&mut self, capacity: usize) {
         if let MutRepr::Inline { len, buf } = &self.repr {
-            let (mut vec, shell) = pool::acquire(capacity.max(2 * INLINE_CAP));
+            let (mut vec, shell) = pool::acquire(capacity.max(64));
             vec.clear();
             vec.extend_from_slice(&buf[..usize::from(*len)]);
             self.repr = MutRepr::Pooled { vec, shell };
@@ -523,7 +546,7 @@ impl BytesMut {
             MutRepr::Inline { len, buf } => Bytes { repr: Repr::Inline { len: *len, buf: *buf } },
             MutRepr::Pooled { vec, shell } => {
                 let vec = std::mem::take(vec);
-                let end = vec.len();
+                let end = offset32(vec.len());
                 let arc = match shell.take() {
                     Some(shell) => {
                         // SAFETY: parked shells are unique by construction:
@@ -686,7 +709,7 @@ mod tests {
 
     #[test]
     fn inline_and_shared_agree_on_content() {
-        for len in [0usize, 1, 63, 64, 65, 200] {
+        for len in [0usize, 1, INLINE_CAP - 1, INLINE_CAP, INLINE_CAP + 1, 64, 200] {
             let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
             let b = Bytes::from(data.clone());
             assert_eq!(b.len(), len);
@@ -697,7 +720,7 @@ mod tests {
 
     #[test]
     fn slice_split_advance_truncate_across_reprs() {
-        for len in [10usize, 64, 65, 300] {
+        for len in [10usize, INLINE_CAP, INLINE_CAP + 1, 64, 300] {
             let data: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
             let mut b = Bytes::from(data.clone());
             let s = b.slice(2..len - 3);
@@ -748,9 +771,9 @@ mod tests {
     #[test]
     fn inline_buffers_never_touch_the_pool() {
         pool::reset();
-        let b = Bytes::copy_from_slice(&[7u8; 64]);
+        let b = Bytes::copy_from_slice(&[7u8; INLINE_CAP]);
         let c = b.clone();
-        let s = b.slice(1..40);
+        let s = b.slice(1..INLINE_CAP - 2);
         drop((b, c, s));
         let stats = pool::stats();
         assert_eq!(stats.misses, 0);
