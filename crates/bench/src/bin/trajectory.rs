@@ -57,6 +57,80 @@ fn timed(name: &'static str, trials: impl FnOnce() -> usize) -> Entry {
     Entry { name, trials: n, elapsed_secs: elapsed }
 }
 
+/// The `campaign` CLI binary, if one is built: `CAMPAIGN_EXE` wins, then
+/// the workspace release and debug targets.
+fn campaign_exe() -> Option<std::path::PathBuf> {
+    if let Ok(exe) = std::env::var("CAMPAIGN_EXE") {
+        let p = std::path::PathBuf::from(exe);
+        return p.is_file().then_some(p);
+    }
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    ["target/release/campaign", "target/debug/campaign"]
+        .iter()
+        .map(|rel| root.join(rel))
+        .find(|p| p.is_file())
+}
+
+/// Times a supervised vs. a bare subprocess `chronos_bound` campaign and
+/// renders the `"supervision"` JSON object for `BENCH_measure.json`.
+fn supervision_overhead_json(exe: &std::path::Path, scale: Scale) -> String {
+    use campaign::exec::{run_campaign, CampaignConfig, ExecMode};
+    use campaign::supervisor::{run_supervised, SupervisorConfig};
+
+    let scenario = campaign::registry::find("chronos_bound").expect("registered scenario");
+    let config = |dir: std::path::PathBuf| CampaignConfig {
+        scenario,
+        scale,
+        scale_label: "quick".into(),
+        shards: 3,
+        workers: 3,
+        mode: ExecMode::Subprocess { exe: exe.to_path_buf() },
+        dir,
+        verbose: false,
+    };
+    let dir = |tag: &str| {
+        let d =
+            std::env::temp_dir().join(format!("bench-supervision-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    };
+
+    println!("\nsupervision overhead (chronos_bound, 3 subprocess shards)\n");
+    let bare_dir = dir("bare");
+    #[allow(clippy::disallowed_methods)] // bench crate: R3 allowlist
+    let start = Instant::now();
+    let bare = run_campaign(&config(bare_dir.clone())).expect("bare subprocess campaign runs");
+    let bare_elapsed = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(bare_dir).ok();
+
+    let sup_dir = dir("supervised");
+    let sup = SupervisorConfig { poll_interval_ms: 5, ..SupervisorConfig::default() };
+    #[allow(clippy::disallowed_methods)] // bench crate: R3 allowlist
+    let start = Instant::now();
+    let supervised =
+        run_supervised(&config(sup_dir.clone()), exe, &sup).expect("supervised campaign runs");
+    let sup_elapsed = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(sup_dir).ok();
+
+    assert_eq!(
+        bare.digest, supervised.summary.digest,
+        "supervision must never change campaign results"
+    );
+    let trials = bare.records;
+    let bare_rate = trials as f64 / bare_elapsed.max(1e-9);
+    let sup_rate = trials as f64 / sup_elapsed.max(1e-9);
+    println!("bare       {trials:4} trials in {bare_elapsed:8.3}s  ({bare_rate:.2} trials/sec)");
+    println!("supervised {trials:4} trials in {sup_elapsed:8.3}s  ({sup_rate:.2} trials/sec)");
+    format!(
+        "{{ \"scenario\": \"chronos_bound\", \"trials\": {trials}, \
+         \"bare_trials_per_sec\": {bare_rate:.3}, \"supervised_trials_per_sec\": {sup_rate:.3}, \
+         \"overhead_ratio\": {:.4}, \"digest\": \"{}\" }}",
+        // >1 means supervision cost wall-clock time over the bare run.
+        sup_elapsed.max(1e-9) / bare_elapsed.max(1e-9),
+        bare.digest,
+    )
+}
+
 fn main() {
     if std::env::args().skip(1).any(|a| a == "--engine-only") {
         let (stats, elapsed) = bench::engine_driver::measure();
@@ -181,10 +255,26 @@ fn main() {
             digest.hex()
         ));
     }
+    // ---- supervision overhead: supervised vs bare subprocess shards ----
+    //
+    // The self-healing supervisor adds a poll loop, per-record stream
+    // validation, and checkpoint recovery around every lease; this pins
+    // its cost as a trials/sec ratio so a supervision regression shows up
+    // in the artifact diff. Needs the `campaign` binary — when it isn't
+    // built yet the section degrades to `null` rather than failing the
+    // trajectory run.
+    let supervision = match campaign_exe() {
+        None => {
+            println!("\nsupervision overhead: skipped (campaign binary not built)");
+            "null".to_owned()
+        }
+        Some(exe) => supervision_overhead_json(&exe, scale),
+    };
+
     let measure_json = format!(
         "{{\n  \"bench\": \"measure\",\n  \"scale\": \"quick\",\n  \"workers\": {},\n  \
-         \"scans\": [\n{}\n  ]\n}}\n",
-        scale.workers, scans,
+         \"scans\": [\n{}\n  ],\n  \"supervision\": {}\n}}\n",
+        scale.workers, scans, supervision,
     );
     bench::json::validate(&measure_json).expect("BENCH_measure.json must be well-formed JSON");
     let measure_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_measure.json");

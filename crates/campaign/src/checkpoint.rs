@@ -12,16 +12,33 @@
 //! [`recover`] validates every line against the schema and rewrites the
 //! file to its longest valid prefix before the shard is resumed, so a
 //! resumed stream is byte-identical to an uninterrupted one.
+//!
+//! Quarantine: an invalid record *before* the final line is not a torn
+//! tail — it is mid-file corruption (a garbage-writing worker, a bad
+//! disk, a foreign file). Rather than refusing the whole campaign
+//! directory, [`recover`] renames the bad file to `shard-<k>.ndjson.corrupt`
+//! and reports [`Recovery::Quarantined`]; the shard restarts from offset 0
+//! while every other shard's resume is kept. Trials are pure functions of
+//! the global index, so the rerun reproduces the stream bit-identically.
 
 use std::fs::{self, File};
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::path::{Path, PathBuf};
 
+use crate::error::CampaignError;
 use crate::record::{decode_line, Schema};
 
 /// The checkpoint file for shard `k`.
 pub fn shard_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard}.ndjson"))
+}
+
+/// Where a corrupt shard checkpoint is quarantined (the original path
+/// with `.corrupt` appended).
+pub fn corrupt_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".corrupt");
+    PathBuf::from(name)
 }
 
 /// The merged-summary path for a campaign directory.
@@ -57,47 +74,45 @@ pub fn check_manifest(
     scenario: &str,
     scale_spec: &str,
     shards: usize,
-) -> Result<(), String> {
+) -> Result<(), CampaignError> {
     let path = manifest_path(dir);
     let want = render_manifest(scenario, scale_spec, shards);
     match fs::read_to_string(&path) {
         Ok(found) if found == want => Ok(()),
-        Ok(found) => Err(format!(
-            "{}: this directory belongs to a different campaign\n  found:    {}  expected: {}\
-             rerun with --fresh or a new --out",
-            dir.display(),
-            found,
-            want
-        )),
+        Ok(found) => {
+            Err(CampaignError::ManifestMismatch { dir: dir.to_path_buf(), found, expected: want })
+        }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             // No manifest: only adopt the directory if it has no shard
             // checkpoints of unknown provenance.
             if let Some(stray) = existing_shard_files(dir)?.first() {
-                return Err(format!(
-                    "{}: found checkpoint {} but no manifest — not resuming a directory of \
-                     unknown provenance; rerun with --fresh or a new --out",
-                    dir.display(),
-                    stray.display()
-                ));
+                return Err(CampaignError::UnknownProvenance {
+                    dir: dir.to_path_buf(),
+                    stray: stray.clone(),
+                });
             }
-            fs::write(&path, want).map_err(|e| format!("{}: {e}", path.display()))
+            fs::write(&path, want)
+                .map_err(|e| CampaignError::io(format!("write {}", path.display()), e))
         }
-        Err(e) => Err(format!("{}: {e}", path.display())),
+        Err(e) => Err(CampaignError::io(format!("read {}", path.display()), e)),
     }
 }
 
-fn existing_shard_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+fn existing_shard_files(dir: &Path) -> Result<Vec<PathBuf>, CampaignError> {
     let mut out = Vec::new();
     let entries = match fs::read_dir(dir) {
         Ok(entries) => entries,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
-        Err(e) => return Err(format!("{}: {e}", dir.display())),
+        Err(e) => return Err(CampaignError::io(format!("read dir {}", dir.display()), e)),
     };
     for entry in entries {
-        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let entry =
+            entry.map_err(|e| CampaignError::io(format!("read dir {}", dir.display()), e))?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.starts_with("shard-") && name.ends_with(".ndjson") {
+        if name.starts_with("shard-")
+            && (name.ends_with(".ndjson") || name.ends_with(".ndjson.corrupt"))
+        {
             out.push(entry.path());
         }
     }
@@ -105,62 +120,107 @@ fn existing_shard_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(out)
 }
 
-/// Validates a shard checkpoint and returns how many complete records it
-/// already holds. A trailing torn or foreign line (interrupted worker) is
-/// discarded by rewriting the file to its longest valid prefix; an invalid
-/// line *followed by further lines* is an error — that is not a torn
-/// tail, it is a corrupt or mismatched checkpoint (e.g. a stale directory
-/// from a different scenario or scale).
+/// What [`recover`] found in a shard checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// The file is (now) a clean prefix of the shard's stream: this many
+    /// complete records, any torn tail already dropped.
+    Clean(usize),
+    /// Mid-file corruption: the file was renamed aside and the shard must
+    /// restart at record 0.
+    Quarantined {
+        /// Where the corrupt file went (`shard-<k>.ndjson.corrupt`).
+        quarantined_to: PathBuf,
+        /// 1-based line number of the first invalid record.
+        line: usize,
+    },
+}
+
+impl Recovery {
+    /// Records the shard can resume from (0 after a quarantine).
+    pub fn records(&self) -> usize {
+        match self {
+            Recovery::Clean(n) => *n,
+            Recovery::Quarantined { .. } => 0,
+        }
+    }
+}
+
+/// Validates a shard checkpoint and reports how the shard may resume.
+///
+/// * Every line valid → [`Recovery::Clean`] with the record count.
+/// * A torn or foreign **final** line (interrupted worker) → the tail is
+///   dropped by rewriting the file to its longest valid prefix, and the
+///   prefix count is returned as [`Recovery::Clean`].
+/// * An invalid line *followed by further lines* → mid-file corruption:
+///   the file is renamed to `<name>.corrupt` and
+///   [`Recovery::Quarantined`] is returned, so the shard re-runs from
+///   offset 0 while the rest of the campaign keeps its resume.
 ///
 /// # Errors
 ///
-/// I/O failures and mid-file corruption.
-pub fn recover(path: &Path, schema: &Schema) -> Result<usize, String> {
+/// I/O failures only — corruption is a quarantine, not an error.
+pub fn recover(path: &Path, schema: &Schema) -> Result<Recovery, CampaignError> {
     let file = match File::open(path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-        Err(e) => return Err(format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Recovery::Clean(0)),
+        Err(e) => return Err(CampaignError::io(format!("open {}", path.display()), e)),
     };
     let mut reader = BufReader::new(file);
     let mut valid = 0usize;
     let mut valid_bytes = 0u64;
-    let mut line = String::new();
+    // Raw bytes, not `read_line`: corrupt checkpoints can hold non-UTF-8
+    // bytes, and those must classify as corruption (torn tail or
+    // quarantine), never as an unrecoverable read error.
+    let mut line: Vec<u8> = Vec::new();
     loop {
         line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| format!("{}: {e}", path.display()))?;
+        let n = reader
+            .read_until(b'\n', &mut line)
+            .map_err(|e| CampaignError::io(format!("read {}", path.display()), e))?;
         if n == 0 {
             break;
         }
-        let complete = line.ends_with('\n');
-        let body = line.trim_end_matches('\n');
-        if complete && decode_line(schema, body).is_ok() {
+        let complete = line.last() == Some(&b'\n');
+        let body = if complete { &line[..line.len() - 1] } else { &line[..] };
+        let decodes = complete
+            && std::str::from_utf8(body).is_ok_and(|body| decode_line(schema, body).is_ok());
+        if decodes {
             valid += 1;
             valid_bytes += n as u64;
             continue;
         }
-        // First invalid or unterminated line: only acceptable at the tail.
-        let mut rest = String::new();
-        reader.read_to_string(&mut rest).map_err(|e| format!("{}: {e}", path.display()))?;
+        // First invalid or unterminated line: a torn tail if nothing
+        // follows, mid-file corruption (quarantine) otherwise.
+        let mut rest = Vec::new();
+        reader
+            .read_to_end(&mut rest)
+            .map_err(|e| CampaignError::io(format!("read {}", path.display()), e))?;
         if !rest.is_empty() {
-            return Err(format!(
-                "{}: corrupt record at line {} (not a torn tail) — refusing to resume; \
-                 delete the campaign directory or rerun with --fresh",
-                path.display(),
-                valid + 1
-            ));
+            drop(reader);
+            let aside = corrupt_path(path);
+            fs::rename(path, &aside).map_err(|e| {
+                CampaignError::io(
+                    format!("quarantine {} -> {}", path.display(), aside.display()),
+                    e,
+                )
+            })?;
+            return Ok(Recovery::Quarantined { quarantined_to: aside, line: valid + 1 });
         }
         // Torn tail: drop it.
         drop(reader);
         truncate_to(path, valid_bytes)?;
-        return Ok(valid);
+        return Ok(Recovery::Clean(valid));
     }
-    Ok(valid)
+    Ok(Recovery::Clean(valid))
 }
 
-fn truncate_to(path: &Path, len: u64) -> Result<(), String> {
-    let file =
-        File::options().write(true).open(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    file.set_len(len).map_err(|e| format!("{}: {e}", path.display()))?;
+fn truncate_to(path: &Path, len: u64) -> Result<(), CampaignError> {
+    let file = File::options()
+        .write(true)
+        .open(path)
+        .map_err(|e| CampaignError::io(format!("open {}", path.display()), e))?;
+    file.set_len(len).map_err(|e| CampaignError::io(format!("truncate {}", path.display()), e))?;
     Ok(())
 }
 
@@ -176,12 +236,12 @@ impl Appender {
     /// # Errors
     ///
     /// I/O failures.
-    pub fn open(path: &Path) -> Result<Appender, String> {
+    pub fn open(path: &Path) -> Result<Appender, CampaignError> {
         let file = File::options()
             .append(true)
             .create(true)
             .open(path)
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+            .map_err(|e| CampaignError::io(format!("open {}", path.display()), e))?;
         Ok(Appender { file })
     }
 
@@ -191,23 +251,24 @@ impl Appender {
     /// # Errors
     ///
     /// I/O failures.
-    pub fn append_line(&mut self, line: &str) -> Result<(), String> {
+    pub fn append_line(&mut self, line: &str) -> Result<(), CampaignError> {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        self.file.write_all(&buf).map_err(|e| e.to_string())?;
-        self.file.flush().map_err(|e| e.to_string())
+        self.file.write_all(&buf).map_err(|e| CampaignError::io("append record", e))?;
+        self.file.flush().map_err(|e| CampaignError::io("flush record", e))
     }
 }
 
 /// Removes a campaign directory's shard checkpoints (all of them,
-/// whatever shard plan wrote them), manifest and summary — the `--fresh`
-/// path. Missing files are fine.
+/// whatever shard plan wrote them, including quarantined `.corrupt`
+/// files), manifest and summary — the `--fresh` path. Missing files are
+/// fine.
 ///
 /// # Errors
 ///
 /// I/O failures other than "not found".
-pub fn wipe(dir: &Path) -> Result<(), String> {
+pub fn wipe(dir: &Path) -> Result<(), CampaignError> {
     for path in existing_shard_files(dir)? {
         remove_if_present(&path)?;
     }
@@ -216,11 +277,11 @@ pub fn wipe(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn remove_if_present(path: &Path) -> Result<(), String> {
+fn remove_if_present(path: &Path) -> Result<(), CampaignError> {
     match fs::remove_file(path) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-        Err(e) => Err(format!("{}: {e}", path.display())),
+        Err(e) => Err(CampaignError::io(format!("remove {}", path.display()), e)),
     }
 }
 
@@ -233,6 +294,7 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("campaign-ckpt-{}-{name}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
         fs::create_dir_all(&dir).expect("mkdir");
         dir
     }
@@ -250,7 +312,7 @@ mod tests {
             a.append_line(&line(x)).expect("append");
         }
         drop(a);
-        assert_eq!(recover(&path, SCHEMA).expect("recover"), 5);
+        assert_eq!(recover(&path, SCHEMA).expect("recover"), Recovery::Clean(5));
         fs::remove_dir_all(dir).ok();
     }
 
@@ -265,7 +327,7 @@ mod tests {
         let mut f = File::options().append(true).open(&path).expect("open");
         f.write_all(b"{\"x\":4").expect("tear");
         drop(f);
-        assert_eq!(recover(&path, SCHEMA).expect("recover"), 1);
+        assert_eq!(recover(&path, SCHEMA).expect("recover"), Recovery::Clean(1));
         // The file is now exactly the valid prefix; appending resumes it.
         let mut a = Appender::open(&path).expect("reopen");
         a.append_line(&line(2)).expect("append");
@@ -276,19 +338,42 @@ mod tests {
     }
 
     #[test]
-    fn mid_file_corruption_refuses_to_resume() {
+    fn mid_file_corruption_quarantines_the_shard() {
         let dir = tmp("corrupt");
         let path = shard_path(&dir, 2);
-        fs::write(&path, format!("{}\ngarbage\n{}\n", line(1), line(2))).expect("write");
-        let err = recover(&path, SCHEMA).expect_err("must refuse");
-        assert!(err.contains("line 2"), "{err}");
+        let original = format!("{}\ngarbage\n{}\n", line(1), line(2));
+        fs::write(&path, &original).expect("write");
+        match recover(&path, SCHEMA).expect("recover") {
+            Recovery::Quarantined { quarantined_to, line } => {
+                assert_eq!(line, 2);
+                assert_eq!(quarantined_to, corrupt_path(&path));
+                // The corrupt bytes are preserved for forensics...
+                assert_eq!(fs::read_to_string(&quarantined_to).expect("read"), original);
+                // ...and the shard restarts from nothing.
+                assert!(!path.exists());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(recover(&path, SCHEMA).expect("recover"), Recovery::Clean(0));
         fs::remove_dir_all(dir).ok();
     }
 
     #[test]
     fn missing_file_is_zero_records() {
         let dir = tmp("missing");
-        assert_eq!(recover(&shard_path(&dir, 9), SCHEMA).expect("recover"), 0);
+        assert_eq!(recover(&shard_path(&dir, 9), SCHEMA).expect("recover"), Recovery::Clean(0));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn wipe_removes_quarantined_files_too() {
+        let dir = tmp("wipe");
+        let path = shard_path(&dir, 0);
+        fs::write(&path, format!("{}\ngarbage\n{}\n", line(1), line(2))).expect("write");
+        let _ = recover(&path, SCHEMA).expect("recover quarantines");
+        assert!(corrupt_path(&path).exists());
+        wipe(&dir).expect("wipe");
+        assert!(!corrupt_path(&path).exists());
         fs::remove_dir_all(dir).ok();
     }
 }

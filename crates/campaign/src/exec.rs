@@ -14,7 +14,14 @@
 //! Resume: before running anything the executor recovers every shard
 //! checkpoint ([`checkpoint::recover`]) and restarts each shard at its
 //! first missing index — an interrupted campaign continues where it
-//! stopped and ends with the same digest as an uninterrupted one.
+//! stopped and ends with the same digest as an uninterrupted one. A
+//! checkpoint with mid-file corruption is quarantined (renamed aside) and
+//! its shard restarts at record 0; the rest of the resume is kept.
+//!
+//! This module is the *fail-fast* executor: any worker failure aborts the
+//! run (after killing the other children). [`crate::supervisor`] wraps
+//! the same spawn/drain machinery in a lease loop that retries and
+//! quarantines instead.
 
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
@@ -24,7 +31,9 @@ use runner::{shard_range, TrialRunner};
 use timeshift::experiments::Scale;
 
 use crate::checkpoint::{self, Appender};
-use crate::record::encode_line;
+use crate::error::CampaignError;
+use crate::faults::{FaultSpec, GARBAGE_LINE, TORN_BYTES};
+use crate::record::{decode_line, encode_line, Schema};
 use crate::registry::Scenario;
 use crate::summary::{self, Summary};
 
@@ -85,16 +94,50 @@ impl CampaignConfig {
     }
 }
 
-/// Runs (or resumes) a campaign end to end: plan shards, recover
-/// checkpoints, execute unfinished shards, then merge + aggregate into a
-/// [`Summary`] (also written as `summary.json` in the campaign dir).
-///
-/// # Errors
-///
-/// Planning, I/O, worker, or merge failures.
-pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, String> {
-    let shards = config.shards.max(1);
-    std::fs::create_dir_all(&config.dir).map_err(|e| format!("{}: {e}", config.dir.display()))?;
+/// A planned-but-unfinished shard: index, global range, records already
+/// checkpointed.
+pub(crate) type PendingShard = (usize, std::ops::Range<usize>, usize);
+
+/// Plans the shard ranges and recovers every checkpoint (quarantining
+/// corrupt ones), returning `(all ranges, pending shards)`.
+pub(crate) fn plan_and_recover(
+    config: &CampaignConfig,
+    shards: usize,
+    total: usize,
+) -> Result<(Vec<std::ops::Range<usize>>, Vec<PendingShard>), CampaignError> {
+    let ranges: Vec<_> = (0..shards).map(|k| shard_range(total, k, shards)).collect();
+    let mut pending: Vec<PendingShard> = Vec::new();
+    for (k, range) in ranges.iter().enumerate() {
+        let planned = range.end - range.start;
+        let recovery =
+            checkpoint::recover(&checkpoint::shard_path(&config.dir, k), config.scenario.schema)?;
+        if let checkpoint::Recovery::Quarantined { quarantined_to, line } = &recovery {
+            if config.verbose {
+                eprintln!(
+                    "shard {k}: checkpoint corrupt at line {line}; quarantined to {} — \
+                     restarting shard from record 0",
+                    quarantined_to.display()
+                );
+            }
+        }
+        let done = recovery.records();
+        if done > planned {
+            return Err(CampaignError::StaleCheckpoint { shard: k, have: done, planned });
+        }
+        if done < planned {
+            if config.verbose && done > 0 {
+                eprintln!("shard {k}: resuming at record {done}/{planned}");
+            }
+            pending.push((k, range.clone(), done));
+        }
+    }
+    Ok((ranges, pending))
+}
+
+/// Creates the campaign directory and verifies (or writes) its manifest.
+pub(crate) fn prepare_dir(config: &CampaignConfig, shards: usize) -> Result<(), CampaignError> {
+    std::fs::create_dir_all(&config.dir)
+        .map_err(|e| CampaignError::io(format!("create {}", config.dir.display()), e))?;
     // A checkpoint is only a resumable prefix of THIS campaign: refuse the
     // directory if its manifest names a different scenario, scale, seed or
     // shard plan (shard files would otherwise be silently reinterpreted
@@ -104,30 +147,22 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, String> {
         config.scenario.name,
         &scale_spec(&config.scale),
         shards,
-    )?;
+    )
+}
+
+/// Runs (or resumes) a campaign end to end: plan shards, recover
+/// checkpoints, execute unfinished shards, then merge + aggregate into a
+/// [`Summary`] (also written as `summary.json` in the campaign dir).
+///
+/// # Errors
+///
+/// Planning, I/O, worker, or merge failures.
+pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, CampaignError> {
+    let shards = config.shards.max(1);
+    prepare_dir(config, shards)?;
     let built = config.scenario.build(config.scale);
     let total = built.trials();
-    let ranges: Vec<_> = (0..shards).map(|k| shard_range(total, k, shards)).collect();
-
-    // Recover checkpoints: how far is each shard already?
-    let mut pending: Vec<(usize, std::ops::Range<usize>, usize)> = Vec::new();
-    for (k, range) in ranges.iter().enumerate() {
-        let planned = range.end - range.start;
-        let done =
-            checkpoint::recover(&checkpoint::shard_path(&config.dir, k), config.scenario.schema)?;
-        if done > planned {
-            return Err(format!(
-                "shard {k}: checkpoint has {done} records but only {planned} are planned — \
-                 stale campaign directory? rerun with --fresh or a new --out"
-            ));
-        }
-        if done < planned {
-            if config.verbose && done > 0 {
-                eprintln!("shard {k}: resuming at record {done}/{planned}");
-            }
-            pending.push((k, range.clone(), done));
-        }
-    }
+    let (ranges, pending) = plan_and_recover(config, shards, total)?;
 
     match &config.mode {
         ExecMode::InProcess => {
@@ -135,7 +170,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, String> {
             let campaign = &*built;
             let results = TrialRunner::new(config.workers.max(1)).run(
                 &pending,
-                |_, (k, range, done)| -> Result<(), String> {
+                |_, (k, range, done)| -> Result<(), CampaignError> {
                     run_shard_in_process(config, campaign, *k, range.clone(), *done)
                 },
             );
@@ -154,7 +189,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, String> {
 /// One in-flight subprocess worker: shard index, records expected from
 /// its stream, the child process, and its stdout drain thread.
 type ActiveWorker =
-    (usize, usize, std::process::Child, std::thread::JoinHandle<Result<usize, String>>);
+    (usize, usize, std::process::Child, std::thread::JoinHandle<Result<usize, CampaignError>>);
 
 /// Runs the pending shards as `campaign worker` children, keeping up to
 /// `workers` in flight and backfilling each freed slot immediately (no
@@ -168,12 +203,12 @@ fn run_subprocess_shards(
     config: &CampaignConfig,
     exe: &Path,
     shards: usize,
-    pending: &[(usize, std::ops::Range<usize>, usize)],
-) -> Result<(), String> {
+    pending: &[PendingShard],
+) -> Result<(), CampaignError> {
     let workers = config.workers.max(1);
     let mut queue = pending.iter();
     let mut active: Vec<ActiveWorker> = Vec::new();
-    let mut first_err: Option<String> = None;
+    let mut first_err: Option<CampaignError> = None;
     loop {
         if let Some(e) = first_err.take() {
             for (_, _, mut child, drain) in active.drain(..) {
@@ -187,18 +222,22 @@ fn run_subprocess_shards(
         while active.len() < workers {
             let Some((k, range, done)) = queue.next() else { break };
             let expected = range.end - range.start - done;
-            match spawn_worker(config, exe, *k, shards, *done) {
+            match spawn_worker(config, exe, *k, shards, *done, None) {
                 Ok(mut child) => match child.stdout.take() {
                     Some(stdout) => {
                         let (k, verbose) = (*k, config.verbose);
-                        let drain =
-                            std::thread::spawn(move || drain_stream(stdout, k, expected, verbose));
+                        let drain = std::thread::spawn(move || {
+                            drain_stream(stdout, k, expected, verbose, None)
+                        });
                         active.push((k, expected, child, drain));
                     }
                     None => {
                         let _ = child.kill();
                         let _ = child.wait();
-                        first_err = Some(format!("shard {k}: no stdout"));
+                        first_err = Some(CampaignError::WorkerSpawn {
+                            shard: *k,
+                            detail: "no stdout pipe".into(),
+                        });
                     }
                 },
                 Err(e) => first_err = Some(e),
@@ -218,16 +257,20 @@ fn run_subprocess_shards(
         if let Some(i) = active.iter().position(|(_, _, _, drain)| drain.is_finished()) {
             let (k, expected, mut child, drain) = active.swap_remove(i);
             let outcome = (|| {
-                let streamed =
-                    drain.join().map_err(|_| format!("shard {k}: drain thread panicked"))??;
-                let status = child.wait().map_err(|e| format!("shard {k}: wait: {e}"))?;
+                let streamed = drain.join().map_err(|_| {
+                    CampaignError::Internal(format!("shard {k}: drain thread panicked"))
+                })??;
+                let status = child
+                    .wait()
+                    .map_err(|e| CampaignError::io(format!("wait for shard {k} worker"), e))?;
                 if !status.success() {
-                    return Err(format!("shard {k}: worker exited with {status}"));
+                    return Err(CampaignError::WorkerExit { shard: k, status: status.to_string() });
                 }
                 if streamed != expected {
-                    return Err(format!(
-                        "shard {k}: worker streamed {streamed} records, expected {expected}"
-                    ));
+                    return Err(CampaignError::WorkerStream {
+                        shard: k,
+                        detail: format!("streamed {streamed} records, expected {expected}"),
+                    });
                 }
                 Ok(())
             })();
@@ -246,7 +289,7 @@ fn run_shard_in_process(
     k: usize,
     range: std::ops::Range<usize>,
     done: usize,
-) -> Result<(), String> {
+) -> Result<(), CampaignError> {
     let mut out = Appender::open(&checkpoint::shard_path(&config.dir, k))?;
     for idx in range.start + done..range.end {
         let record = campaign.run_trial(idx);
@@ -258,15 +301,18 @@ fn run_shard_in_process(
     Ok(())
 }
 
-fn spawn_worker(
+/// Spawns one `campaign worker` child for shard `k`, optionally carrying
+/// a `--fault` injection flag (the supervisor's chaos harness).
+pub(crate) fn spawn_worker(
     config: &CampaignConfig,
     exe: &Path,
     k: usize,
     shards: usize,
     skip: usize,
-) -> Result<std::process::Child, String> {
-    Command::new(exe)
-        .arg("worker")
+    fault: Option<FaultSpec>,
+) -> Result<std::process::Child, CampaignError> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("worker")
         .arg("--scenario")
         .arg(config.scenario.name)
         .arg("--shard")
@@ -276,27 +322,45 @@ fn spawn_worker(
         .arg("--checkpoint")
         .arg(checkpoint::shard_path(&config.dir, k))
         .arg("--scale-spec")
-        .arg(scale_spec(&config.scale))
-        .stdin(Stdio::null())
+        .arg(scale_spec(&config.scale));
+    if let Some(fault) = fault {
+        cmd.arg("--fault").arg(fault.render());
+    }
+    cmd.stdin(Stdio::null())
         .stdout(Stdio::piped())
         .spawn()
-        .map_err(|e| format!("spawn worker for shard {k}: {e}"))
+        .map_err(|e| CampaignError::WorkerSpawn { shard: k, detail: e.to_string() })
 }
 
 /// Drains a worker's stdout record stream, counting lines (the live
 /// progress channel — the durable copy is the checkpoint file). Runs on
 /// its own thread per child so no worker blocks on a full pipe.
-fn drain_stream(
+///
+/// With `validate` set, every line is decoded against the schema and the
+/// drain ends early on the first corrupt line — the supervisor's
+/// corrupt-stream detector. (The plain executor skips validation here
+/// because the merge pass decodes every checkpointed record anyway.)
+pub(crate) fn drain_stream(
     stdout: std::process::ChildStdout,
     k: usize,
     expected: usize,
     verbose: bool,
-) -> Result<usize, String> {
+    validate: Option<&'static Schema>,
+) -> Result<usize, CampaignError> {
     let reader = BufReader::new(stdout);
     let mut streamed = 0usize;
     let tick = (expected / 4).max(1);
     for line in reader.lines() {
-        line.map_err(|e| format!("shard {k}: read: {e}"))?;
+        let line =
+            line.map_err(|e| CampaignError::io(format!("read shard {k} worker stream"), e))?;
+        if let Some(schema) = validate {
+            if let Err(e) = decode_line(schema, &line) {
+                return Err(CampaignError::WorkerStream {
+                    shard: k,
+                    detail: format!("corrupt record {} on stdout: {e}", streamed + 1),
+                });
+            }
+        }
         streamed += 1;
         if verbose && streamed.is_multiple_of(tick) {
             eprintln!("shard {k}: {streamed}/{expected} records streamed");
@@ -309,6 +373,10 @@ fn drain_stream(
 /// the first `skip` already-checkpointed trials, appending each record to
 /// `checkpoint` and echoing it on stdout (the coordinator's stream).
 ///
+/// `fault` deterministically injects one failure mode (see
+/// [`crate::faults`]) — the supervision chaos harness. `None` in
+/// production.
+///
 /// # Errors
 ///
 /// Unknown scenario, bad shard spec, or I/O failures.
@@ -319,28 +387,82 @@ pub fn run_worker(
     shards: usize,
     skip: usize,
     checkpoint_path: &Path,
-) -> Result<(), String> {
+    fault: Option<FaultSpec>,
+) -> Result<(), CampaignError> {
     if k >= shards {
-        return Err(format!("shard {k}/{shards} out of range"));
+        return Err(CampaignError::BadSpec(format!("shard {k}/{shards} out of range")));
+    }
+    if let Some(FaultSpec::Exit(code)) = fault {
+        std::process::exit(code);
     }
     let campaign = scenario.build(scale);
     let range = shard_range(campaign.trials(), k, shards);
     if range.start + skip > range.end {
-        return Err(format!("skip {skip} exceeds shard range {range:?}"));
+        return Err(CampaignError::BadSpec(format!("skip {skip} exceeds shard range {range:?}")));
     }
     let mut out = Appender::open(checkpoint_path)?;
     let stdout = std::io::stdout();
-    for idx in range.start + skip..range.end {
+    for (written, idx) in (range.start + skip..range.end).enumerate() {
+        // `written` counts records completed by THIS invocation — the
+        // fault counters are relative to it, so a re-injected fault fires
+        // at a well-defined point of a resumed stream too.
+        inject_pre_record(fault, written, checkpoint_path, &mut out)?;
         let line = encode_line(scenario.schema, &campaign.run_trial(idx));
         out.append_line(&line)?;
         use std::io::Write as _;
         let mut lock = stdout.lock();
         lock.write_all(line.as_bytes())
             .and_then(|()| lock.write_all(b"\n"))
-            .map_err(|e| e.to_string())?;
-        lock.flush().map_err(|e| e.to_string())?;
+            .and_then(|()| lock.flush())
+            .map_err(|e| CampaignError::io("stream record", e))?;
     }
     Ok(())
+}
+
+/// Fires any fault scheduled for the point just before the
+/// `written + 1`-th record of this invocation. Crash/stall/torn-write
+/// never return; garbage-record emits its line and lets the worker
+/// continue.
+fn inject_pre_record(
+    fault: Option<FaultSpec>,
+    written: usize,
+    checkpoint_path: &Path,
+    out: &mut Appender,
+) -> Result<(), CampaignError> {
+    match fault {
+        Some(FaultSpec::CrashAfter(k)) if written == k => std::process::exit(101),
+        Some(FaultSpec::StallAfter(k)) if written == k => loop {
+            // Hold the process alive without progress: the supervisor's
+            // stall timeout is the only way out.
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+        Some(FaultSpec::TornWrite(k)) if written == k => {
+            // Exactly what a kill mid-`append_line` leaves behind: a
+            // flushed half-record with no newline.
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(checkpoint_path)
+                .map_err(|e| CampaignError::io("open checkpoint for torn write", e))?;
+            f.write_all(TORN_BYTES).map_err(|e| CampaignError::io("torn write", e))?;
+            f.flush().map_err(|e| CampaignError::io("torn write flush", e))?;
+            std::process::exit(103);
+        }
+        Some(FaultSpec::GarbageRecord(k)) if written == k => {
+            // A complete but schema-invalid line, on both channels the
+            // coordinator watches: the checkpoint and the stdout stream.
+            out.append_line(GARBAGE_LINE)?;
+            use std::io::Write as _;
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            lock.write_all(GARBAGE_LINE.as_bytes())
+                .and_then(|()| lock.write_all(b"\n"))
+                .and_then(|()| lock.flush())
+                .map_err(|e| CampaignError::io("stream garbage record", e))?;
+            Ok(())
+        }
+        _ => Ok(()),
+    }
 }
 
 /// Parses a `--scale-spec` string
@@ -352,12 +474,15 @@ pub fn run_worker(
 /// # Errors
 ///
 /// Malformed spec.
-pub fn parse_scale_spec(spec: &str) -> Result<Scale, String> {
+pub fn parse_scale_spec(spec: &str) -> Result<Scale, CampaignError> {
     let parts: Vec<&str> = spec.split(',').collect();
     if parts.len() != 7 {
-        return Err(format!("scale spec needs 7 fields, got {}", parts.len()));
+        return Err(CampaignError::BadSpec(format!(
+            "scale spec needs 7 fields, got {}",
+            parts.len()
+        )));
     }
-    let err = |field: &str, e: String| format!("scale spec {field}: {e}");
+    let err = |field: &str, e: String| CampaignError::BadSpec(format!("scale spec {field}: {e}"));
     Ok(Scale {
         resolvers: parts[0]
             .parse()

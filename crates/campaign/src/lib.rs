@@ -15,7 +15,16 @@
 //!   `campaign worker --shard k/K` child processes;
 //! * [`checkpoint`] — per-shard append-only NDJSON checkpoints with
 //!   torn-tail recovery: an interrupted campaign resumes at its first
-//!   missing record;
+//!   missing record; mid-file corruption quarantines the file and the
+//!   shard restarts cleanly;
+//! * [`supervisor`] + [`faults`] — self-healing supervision: dead, hung,
+//!   or corrupt-stream workers are re-leased from their last good
+//!   checkpoint under deterministic backoff, shards that exhaust their
+//!   retries are quarantined into a partial summary with a coverage
+//!   report, and the deterministic fault injector proves the healed
+//!   digest is bit-identical to a fault-free run;
+//! * [`error`] — the typed [`error::CampaignError`] taxonomy the
+//!   supervisor classifies failures with;
 //! * [`summary`] — the deterministic merge + [`stats`] online aggregation
 //!   (Welford moments, P² quantiles, Wilson intervals) in O(1) memory;
 //! * [`digest`] — the FNV-1a stream digest that pins it all down: equal
@@ -39,18 +48,24 @@
 
 pub mod checkpoint;
 pub mod digest;
+pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod record;
 pub mod registry;
 pub mod stats;
 pub mod summary;
+pub mod supervisor;
 
 /// Commonly used types.
 pub mod prelude {
     pub use crate::digest::Digest;
+    pub use crate::error::CampaignError;
     pub use crate::exec::{run_campaign, CampaignConfig, ExecMode};
+    pub use crate::faults::{FaultPlan, FaultSpec};
     pub use crate::record::{Field, FieldKind, Record, Schema, Value};
     pub use crate::registry::{self, Campaign, Scenario};
     pub use crate::stats::{wilson95, Aggregate, P2Quantile, Welford};
     pub use crate::summary::Summary;
+    pub use crate::supervisor::{run_supervised, SupervisedRun, SupervisorConfig};
 }

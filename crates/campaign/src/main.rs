@@ -5,6 +5,7 @@
 //! campaign run table2 --shards 4         # 4 in-process shard threads
 //! campaign run fig6 --shards 4 --subprocess --workers 2
 //! campaign run fig5 --paper --master-seed 7 --out runs/fig5
+//! campaign run table2 --supervised --max-retries 2 --worker-timeout 2000
 //! campaign worker …                      # internal: spawned by --subprocess
 //! ```
 //!
@@ -12,11 +13,20 @@
 //! shard checkpoints, only the missing records are computed, and the final
 //! digest is bit-identical to an uninterrupted run. `--fresh` wipes the
 //! directory's checkpoints first.
+//!
+//! `--supervised` runs the shards under the self-healing lease supervisor
+//! (always subprocess workers): dead, hung, or corrupt-stream workers are
+//! re-leased from their last good checkpoint, and a shard that exhausts
+//! `--max-retries` is quarantined into a partial summary with a coverage
+//! report. `--fault <shard>:<spec>[:xN]` injects deterministic failures
+//! for chaos testing (see `campaign::faults`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use campaign::exec::{self, CampaignConfig, ExecMode};
+use campaign::faults::{FaultPlan, FaultSpec};
+use campaign::supervisor::{self, SupervisorConfig};
 use campaign::{checkpoint, registry};
 use timeshift::experiments::Scale;
 
@@ -30,7 +40,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: campaign <list | run <scenario> [options] | worker …>\n\
                  run options: [--shards K] [--workers N] [--master-seed S] [--paper]\n\
-                 \x20            [--subprocess] [--out DIR] [--fresh] [--quiet]"
+                 \x20            [--subprocess] [--out DIR] [--fresh] [--quiet]\n\
+                 \x20            [--supervised] [--max-retries R] [--worker-timeout MS]\n\
+                 \x20            [--poll-interval MS] [--fault shard:spec[:xN]]…"
             );
             return ExitCode::from(2);
         }
@@ -111,8 +123,17 @@ impl Parsed {
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let parsed = parse_args(
         args,
-        &["shards", "workers", "master-seed", "out"],
-        &["paper", "subprocess", "fresh", "quiet"],
+        &[
+            "shards",
+            "workers",
+            "master-seed",
+            "out",
+            "max-retries",
+            "worker-timeout",
+            "poll-interval",
+            "fault",
+        ],
+        &["paper", "subprocess", "fresh", "quiet", "supervised"],
     )?;
     let [name] = parsed.positional.as_slice() else {
         return Err("run takes exactly one scenario name (see `campaign list`)".into());
@@ -139,10 +160,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         )),
     };
     if parsed.has("fresh") {
-        checkpoint::wipe(&dir)?;
+        checkpoint::wipe(&dir).map_err(|e| e.to_string())?;
     }
 
-    let mode = if parsed.has("subprocess") {
+    let supervised = parsed.has("supervised");
+    let mode = if parsed.has("subprocess") || supervised {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         ExecMode::Subprocess { exe }
     } else {
@@ -159,18 +181,60 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         dir: dir.clone(),
         verbose: !parsed.has("quiet"),
     };
-    let summary = exec::run_campaign(&config)?;
+
+    let summary = if supervised {
+        let defaults = SupervisorConfig::default();
+        let mut faults = FaultPlan::none();
+        for (name, value) in &parsed.flags {
+            if name == "fault" {
+                let entry = value.as_deref().unwrap_or_default();
+                faults.push_cli(entry).map_err(|e| e.to_string())?;
+            }
+        }
+        let sup = SupervisorConfig {
+            max_retries: parsed.parse("max-retries", defaults.max_retries)?,
+            worker_timeout_ms: parsed.parse("worker-timeout", defaults.worker_timeout_ms)?,
+            poll_interval_ms: parsed.parse("poll-interval", defaults.poll_interval_ms)?,
+            faults,
+            ..defaults
+        };
+        let ExecMode::Subprocess { exe } = &config.mode else {
+            return Err("supervised mode requires subprocess workers".into());
+        };
+        let run = supervisor::run_supervised(&config, exe, &sup).map_err(|e| e.to_string())?;
+        if config.verbose {
+            for r in run.reports.iter().filter(|r| !r.failures.is_empty()) {
+                eprintln!(
+                    "shard {}: {} attempt(s){}",
+                    r.shard,
+                    r.attempts,
+                    if r.quarantined { ", QUARANTINED" } else { ", healed" }
+                );
+                for f in &r.failures {
+                    eprintln!("    failure: {}", f.lines().next().unwrap_or_default());
+                }
+            }
+        }
+        run.summary
+    } else {
+        exec::run_campaign(&config).map_err(|e| e.to_string())?
+    };
     print!("{}", summary.render_text());
     println!("  summary: {}", checkpoint::summary_path(&dir).display());
+    if !summary.complete {
+        return Err("campaign completed PARTIALLY (quarantined shards; see coverage)".into());
+    }
     Ok(())
 }
 
 fn cmd_worker(args: &[String]) -> Result<(), String> {
-    let parsed = parse_args(args, &["scenario", "shard", "skip", "checkpoint", "scale-spec"], &[])?;
+    let parsed =
+        parse_args(args, &["scenario", "shard", "skip", "checkpoint", "scale-spec", "fault"], &[])?;
     let name = parsed.flag("scenario").ok_or("worker needs --scenario")?;
     let scenario = registry::find(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
     let scale =
-        exec::parse_scale_spec(parsed.flag("scale-spec").ok_or("worker needs --scale-spec")?)?;
+        exec::parse_scale_spec(parsed.flag("scale-spec").ok_or("worker needs --scale-spec")?)
+            .map_err(|e| e.to_string())?;
     let shard_spec = parsed.flag("shard").ok_or("worker needs --shard k/K")?;
     let (k, shards) = shard_spec
         .split_once('/')
@@ -179,5 +243,10 @@ fn cmd_worker(args: &[String]) -> Result<(), String> {
     let skip: usize = parsed.parse("skip", 0)?;
     let checkpoint_path =
         PathBuf::from(parsed.flag("checkpoint").ok_or("worker needs --checkpoint")?);
-    exec::run_worker(scenario, scale, k, shards, skip, &checkpoint_path)
+    let fault = match parsed.flag("fault") {
+        Some(spec) => Some(FaultSpec::parse(spec).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    exec::run_worker(scenario, scale, k, shards, skip, &checkpoint_path, fault)
+        .map_err(|e| e.to_string())
 }

@@ -304,9 +304,12 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Multi-byte UTF-8 passes through unmodified.
+                    // Multi-byte UTF-8 passes through unmodified. The slice
+                    // is non-empty (guarded by the `Some`), but corrupt
+                    // checkpoint bytes reach this decoder, so fail typed
+                    // rather than assume.
                     let s = std::str::from_utf8(&self.b[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s.chars().next().ok_or("empty string continuation")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -135,7 +135,9 @@ impl P2Quantile {
             self.q[4] = x;
             3
         } else {
-            (0..4).find(|&i| x < self.q[i + 1]).expect("x < q[4]")
+            // x < q[4] here, so some cell matches; the fallback guards the
+            // supervision path against NaN-poisoned markers ever panicking.
+            (0..4).find(|&i| x < self.q[i + 1]).unwrap_or(3)
         };
         for i in (k + 1)..5 {
             self.n[i] += 1.0;
@@ -318,9 +320,13 @@ impl Aggregate {
                 (_, Value::Null) => *nulls += 1,
                 (FieldAgg::Bool { trues, .. }, Value::Bool(true)) => *trues += 1,
                 (FieldAgg::Bool { falses, .. }, Value::Bool(false)) => *falses += 1,
-                (FieldAgg::Num(num), v) => {
-                    num.push(v.as_sample().expect("numeric field carries a number"));
-                }
+                (FieldAgg::Num(num), v) => match v.as_sample() {
+                    Some(sample) => num.push(sample),
+                    // A non-numeric value under a numeric field can only
+                    // reach here through a schema/value mismatch; count it
+                    // as a null rather than crash the coordinator mid-merge.
+                    None => *nulls += 1,
+                },
                 (FieldAgg::Str { counts, overflow }, Value::Str(s)) => {
                     if let Some(entry) = counts.iter_mut().find(|(v, _)| v == s) {
                         entry.1 += 1;
@@ -330,7 +336,11 @@ impl Aggregate {
                         *overflow += 1;
                     }
                 }
-                (agg, value) => unreachable!("schema mismatch: {agg:?} vs {value:?}"),
+                // Any other schema/value mismatch: tolerated as a null so
+                // `push` is total — the strict decode upstream already
+                // rejects malformed records, and an aggregator must never
+                // be the thing that kills a supervised merge.
+                (_, _) => *nulls += 1,
             }
         }
     }

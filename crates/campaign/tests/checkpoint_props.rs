@@ -1,0 +1,195 @@
+//! Checkpoint recovery under arbitrary corruption: truncate or garble a
+//! valid checkpoint at **every byte offset** and recovery must yield a
+//! clean prefix of the original stream or a quarantine signal — never a
+//! wrong record. This is the safety property the self-healing supervisor
+//! leans on: whatever a dying worker leaves behind, the retry resumes
+//! from bytes that are provably a prefix of the true stream.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use campaign::checkpoint::{self, Recovery};
+use campaign::record::{encode_line, Field, FieldKind, Record, Schema, Value};
+use proptest::prelude::*;
+
+/// Numeric-only schema: its encoded lines never contain `#`, so garbling
+/// a byte to `#` always produces an invalid line (a digit flipped to
+/// another digit would be a *valid but wrong* record — exactly the
+/// ambiguity this schema rules out).
+const SCHEMA: &Schema =
+    &[Field { name: "x", kind: FieldKind::U64 }, Field { name: "y", kind: FieldKind::F64 }];
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh path for one recovery case (unique so a quarantine's `.corrupt`
+/// file never leaks into the next case).
+fn case_path(dir: &std::path::Path) -> PathBuf {
+    checkpoint::shard_path(dir, CASE.fetch_add(1, Ordering::Relaxed))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ckpt-props-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// `records` encoded lines (newline-terminated), plus each line's byte
+/// length.
+fn valid_checkpoint(records: usize) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut line_lens = Vec::new();
+    for i in 0..records {
+        let rec = Record(vec![
+            Value::U64((i as u64).wrapping_mul(0x9E37_79B9)),
+            Value::F64(i as f64 * -499.25 + 0.125),
+        ]);
+        let line = encode_line(SCHEMA, &rec);
+        assert!(!line.contains('#'), "schema must keep '#' out of encoded lines");
+        line_lens.push(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+    }
+    (bytes, line_lens)
+}
+
+/// The byte length of the first `k` full lines.
+fn prefix_len(line_lens: &[usize], k: usize) -> usize {
+    line_lens[..k].iter().sum()
+}
+
+/// Asserts the recovery outcome for `mutated` (a mutation of `original`)
+/// is safe: a clean prefix of the original bytes, or a quarantine that
+/// preserved the mutated bytes aside. Returns the recovery for callers
+/// that also pin the exact outcome.
+fn assert_safe_recovery(
+    path: &std::path::Path,
+    original: &[u8],
+    line_lens: &[usize],
+    mutated: &[u8],
+) -> Recovery {
+    std::fs::write(path, mutated).expect("write case");
+    let recovery = checkpoint::recover(path, SCHEMA).expect("recover never errors on corruption");
+    match &recovery {
+        Recovery::Clean(k) => {
+            assert!(*k <= line_lens.len(), "recovered more records than ever existed");
+            let content = std::fs::read(path).expect("read recovered file");
+            assert_eq!(
+                content,
+                &original[..prefix_len(line_lens, *k)],
+                "recovered file must be byte-for-byte the first {k} original lines"
+            );
+        }
+        Recovery::Quarantined { quarantined_to, line } => {
+            assert!(!path.exists(), "quarantine must move the corrupt file aside");
+            let aside = std::fs::read(quarantined_to).expect("read quarantined file");
+            assert_eq!(aside, mutated, "quarantine must preserve the corrupt bytes");
+            assert!(*line >= 1 && *line <= line_lens.len(), "corrupt line within the file");
+        }
+    }
+    recovery
+}
+
+/// Truncation at every byte offset: recovery is always `Clean` with
+/// exactly the full lines the truncation kept.
+#[test]
+fn truncation_at_every_offset_yields_the_exact_clean_prefix() {
+    let (original, line_lens) = valid_checkpoint(6);
+    let dir = tmp_dir("trunc");
+    for off in 0..=original.len() {
+        let path = case_path(&dir);
+        let mutated = &original[..off];
+        let recovery = assert_safe_recovery(&path, &original, &line_lens, mutated);
+        let kept_lines = mutated.iter().filter(|&&b| b == b'\n').count();
+        assert_eq!(
+            recovery,
+            Recovery::Clean(kept_lines),
+            "truncation at byte {off} must keep exactly the complete lines"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Garbling one byte to `#` at every offset: recovery is a clean prefix
+/// that never includes the garbled byte, or a quarantine.
+#[test]
+fn garble_at_every_offset_never_yields_a_wrong_record() {
+    let (original, line_lens) = valid_checkpoint(5);
+    let dir = tmp_dir("garble");
+    for off in 0..original.len() {
+        let path = case_path(&dir);
+        let mut mutated = original.clone();
+        mutated[off] = b'#';
+        let recovery = assert_safe_recovery(&path, &original, &line_lens, &mutated);
+        if let Recovery::Clean(k) = recovery {
+            // The clean prefix must stop before the garbled byte.
+            assert!(
+                prefix_len(&line_lens, k) <= off,
+                "garble at byte {off} leaked into a 'clean' prefix of {k} records"
+            );
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+proptest! {
+    /// Randomised generalisation: any single-byte overwrite at any offset
+    /// in a checkpoint of any small size recovers to a clean prefix or a
+    /// quarantine — even when the overwrite byte happens to keep the line
+    /// valid (in which case the only safe `Clean` is one whose bytes
+    /// still literally match the original prefix).
+    #[test]
+    fn random_byte_overwrites_recover_safely(
+        records in 1usize..8,
+        off_seed in any::<usize>(),
+        byte in any::<u8>(),
+    ) {
+        let (original, line_lens) = valid_checkpoint(records);
+        let off = off_seed % original.len();
+        let mut mutated = original.clone();
+        mutated[off] = byte;
+        let dir = tmp_dir("prop-garble");
+        let path = case_path(&dir);
+        if mutated == original {
+            // Overwrote a byte with itself: recovery must be a full clean read.
+            std::fs::write(&path, &mutated).expect("write case");
+            let r = checkpoint::recover(&path, SCHEMA).expect("recover");
+            prop_assert_eq!(r, Recovery::Clean(records));
+        } else if byte != b'\n' && mutated.iter().filter(|&&b| b == b'\n').count()
+            == original.iter().filter(|&&b| b == b'\n').count()
+        {
+            // Same line structure: the mutated line either still decodes
+            // (rare — e.g. a digit swap) or recovery stays on the safe side.
+            // Either way the recovered bytes must be a prefix of SOME
+            // consistent stream; we only require safety w.r.t. the original
+            // when the mutation is detectable.
+            std::fs::write(&path, &mutated).expect("write case");
+            let r = checkpoint::recover(&path, SCHEMA).expect("recover");
+            if let Recovery::Clean(k) = r {
+                let content = std::fs::read(&path).expect("read");
+                prop_assert_eq!(&content, &mutated[..content.len()]);
+                prop_assert!(k <= records);
+            }
+        } else {
+            assert_safe_recovery(&path, &original, &line_lens, &mutated);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Randomised truncation: any cut offset recovers to exactly the
+    /// complete lines before the cut.
+    #[test]
+    fn random_truncations_recover_the_exact_prefix(
+        records in 1usize..8,
+        off_seed in any::<usize>(),
+    ) {
+        let (original, line_lens) = valid_checkpoint(records);
+        let off = off_seed % (original.len() + 1);
+        let dir = tmp_dir("prop-trunc");
+        let path = case_path(&dir);
+        let recovery = assert_safe_recovery(&path, &original, &line_lens, &original[..off]);
+        let kept = original[..off].iter().filter(|&&b| b == b'\n').count();
+        prop_assert_eq!(recovery, Recovery::Clean(kept));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

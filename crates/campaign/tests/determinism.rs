@@ -129,7 +129,8 @@ fn killed_worker_resumes_to_identical_digest() {
     child.kill().expect("kill worker");
     child.wait().expect("reap worker");
     let partial = checkpoint::recover(&checkpoint::shard_path(&dir, 0), scenario.schema)
-        .expect("recoverable checkpoint");
+        .expect("recoverable checkpoint")
+        .records();
     assert!(partial >= 5, "at least the streamed records are checkpointed");
     assert!(partial < 30, "the kill landed mid-shard");
 
@@ -163,16 +164,16 @@ fn mismatched_checkpoint_directory_is_rejected() {
     // Re-plan with 2 shards: old shard files would be reinterpreted as
     // the wrong global index ranges.
     let replanned = CampaignConfig::in_process(scenario, Scale::quick(), 2, dir.clone());
-    let err = run_campaign(&replanned).expect_err("must refuse the replanned layout");
+    let err = run_campaign(&replanned).expect_err("must refuse the replanned layout").to_string();
     assert!(err.contains("different campaign"), "{err}");
     // A different master seed on the same directory is just as wrong.
     let reseeded = Scale { seed: 7, ..Scale::quick() };
     let reseeded = CampaignConfig::in_process(scenario, reseeded, 4, dir.clone());
-    let err = run_campaign(&reseeded).expect_err("must refuse the reseeded campaign");
+    let err = run_campaign(&reseeded).expect_err("must refuse the reseeded campaign").to_string();
     assert!(err.contains("different campaign"), "{err}");
     // Checkpoints without a manifest are not adopted either.
     std::fs::remove_file(campaign::checkpoint::manifest_path(&dir)).expect("drop manifest");
-    let err = run_campaign(&config).expect_err("must refuse unknown provenance");
+    let err = run_campaign(&config).expect_err("must refuse unknown provenance").to_string();
     assert!(err.contains("provenance"), "{err}");
     std::fs::remove_dir_all(dir).ok();
 }

@@ -37,6 +37,18 @@ pub fn trial_seed(master: u64, idx: usize) -> u64 {
     scan_seed(master, idx)
 }
 
+/// The splitmix64 finalizer: a full-avalanche 64-bit mixing function
+/// (every input bit flips ~half the output bits). The workspace's utility
+/// hash for deriving *decorrelated* values from structured inputs — e.g.
+/// the campaign supervisor's deterministic backoff jitter, which must be
+/// a pure function of `(master seed, shard, attempt)` with no wall-clock
+/// randomness.
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// The contiguous index range shard `shard` of `shards` owns in a
 /// population of `total` items: `⌊shard·total/shards⌋ ..
 /// ⌊(shard+1)·total/shards⌋`.
@@ -180,6 +192,22 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 1000, "no collisions across 1000 indices");
+    }
+
+    #[test]
+    fn mix64_avalanches_and_spreads() {
+        // Reference value from the splitmix64 specification chain.
+        assert_eq!(mix64(0), 0);
+        // Distinct, well-spread outputs over a dense input range.
+        let mut outs: Vec<u64> = (0u64..4096).map(mix64).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 4096, "no collisions across 4096 inputs");
+        // Single-bit input flips move many output bits.
+        for bit in 0..64 {
+            let delta = (mix64(0x1234_5678) ^ mix64(0x1234_5678 ^ (1 << bit))).count_ones();
+            assert!(delta >= 16, "weak avalanche on bit {bit}: {delta}");
+        }
     }
 
     #[test]

@@ -92,4 +92,55 @@ fn main() {
         print!("{}", summary.render_text());
         std::fs::remove_dir_all(dir).ok();
     }
+
+    // ---- self-healing supervision demo ----
+    //
+    // The same chronos_bound campaign, run under the lease supervisor
+    // with a deterministically injected crash on shard 1: the supervisor
+    // re-leases the dead shard from its checkpoint and the healed digest
+    // matches the in-process run above bit-for-bit. Needs the `campaign`
+    // worker binary; skipped (not failed) when it isn't built.
+    let exe = std::env::var("CAMPAIGN_EXE").map(std::path::PathBuf::from).ok().or_else(|| {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        ["target/release/campaign", "target/debug/campaign"]
+            .iter()
+            .map(|rel| root.join(rel))
+            .find(|p| p.is_file())
+    });
+    let Some(exe) = exe else {
+        println!(
+            "\n(supervision demo skipped: campaign binary not built — `cargo build -p campaign`)"
+        );
+        return;
+    };
+    println!("\n== supervised campaign (injected crash on shard 1, self-healed) ==\n");
+    let scenario = campaign::registry::find("chronos_bound").expect("registered scenario");
+    let dir = std::env::temp_dir()
+        .join(format!("measurement-campaign-{}-supervised", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = CampaignConfig {
+        scenario,
+        scale,
+        scale_label: if paper { "paper".into() } else { "quick".into() },
+        shards,
+        workers,
+        mode: ExecMode::Subprocess { exe: exe.clone() },
+        dir: dir.clone(),
+        verbose: false,
+    };
+    let mut faults = FaultPlan::none();
+    faults.push_cli("1:crash-after=1").expect("valid fault entry");
+    let sup = SupervisorConfig { poll_interval_ms: 5, faults, ..SupervisorConfig::default() };
+    let run = run_supervised(&config, &exe, &sup).expect("supervised campaign settles");
+    print!("{}", run.summary.render_text());
+    for r in run.reports.iter().filter(|r| !r.failures.is_empty()) {
+        println!(
+            "  shard {} healed after {} attempt(s): {}",
+            r.shard,
+            r.attempts,
+            r.failures.last().map(String::as_str).unwrap_or_default()
+        );
+    }
+    assert!(run.summary.complete, "the injected crash must heal, not quarantine");
+    std::fs::remove_dir_all(dir).ok();
 }
