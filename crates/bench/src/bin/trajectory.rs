@@ -271,10 +271,57 @@ fn main() {
         Some(exe) => supervision_overhead_json(&exe, scale),
     };
 
+    // ---- paper-scale streaming: a lazy table4_snoop slice ----
+    //
+    // The paper's survey spans 1 583 045 resolvers; the campaign derives
+    // every spec lazily from `(seed, index)`, so throughput and peak
+    // memory must be flat in the population size. A 50k-resolver slice of
+    // that index space pins records/sec and the process peak RSS (coarse:
+    // `VmHWM` is process-wide and Linux-only — `null` elsewhere).
+    println!("\npaper-scale streaming (lazy table4_snoop slice)\n");
+    let paper_scale = {
+        let slice = Scale { resolvers: 50_000, ..scale };
+        let scenario = campaign::registry::find("table4_snoop").expect("registered scenario");
+        let built = scenario.build(slice);
+        let trials = built.trials();
+        #[allow(clippy::disallowed_methods)] // bench crate: R3 allowlist
+        let start = Instant::now();
+        let indices: Vec<usize> = (0..trials).collect();
+        let lines = TrialRunner::new(slice.workers)
+            .run(&indices, |_, &idx| encode_line(scenario.schema, &built.run_trial(idx)));
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut digest = Digest::new();
+        for line in &lines {
+            digest.update_line(line);
+        }
+        let peak_rss_kb = std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("VmHWM:"))
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+            .map_or_else(|| "null".to_owned(), |kb| kb.to_string());
+        println!(
+            "table4_snoop    {trials} lazy trials in {elapsed:8.3}s  ({:.0} records/sec)  \
+             peak RSS {peak_rss_kb} kB  digest {}",
+            trials as f64 / elapsed.max(1e-9),
+            digest.hex()
+        );
+        format!(
+            "{{ \"scenario\": \"table4_snoop\", \"resolvers\": {trials}, \
+             \"elapsed_secs\": {elapsed:.6}, \"records_per_sec\": {:.0}, \
+             \"peak_rss_kb\": {peak_rss_kb}, \"digest\": \"{}\" }}",
+            trials as f64 / elapsed.max(1e-9),
+            digest.hex()
+        )
+    };
+
     let measure_json = format!(
         "{{\n  \"bench\": \"measure\",\n  \"scale\": \"quick\",\n  \"workers\": {},\n  \
-         \"scans\": [\n{}\n  ],\n  \"supervision\": {}\n}}\n",
-        scale.workers, scans, supervision,
+         \"scans\": [\n{}\n  ],\n  \"supervision\": {},\n  \"paper_scale\": {}\n}}\n",
+        scale.workers, scans, supervision, paper_scale,
     );
     bench::json::validate(&measure_json).expect("BENCH_measure.json must be well-formed JSON");
     let measure_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_measure.json");

@@ -140,8 +140,8 @@ pub mod movecost {
 
     /// Cost of moving one `size`-byte value, in nanoseconds, measured as
     /// a strided buffer-to-buffer copy (the same access pattern as a
-    /// wheel slot draining into the batch ring). Best of [`ROUNDS`]
-    /// passes over [`LANES`] lanes.
+    /// wheel slot draining into the batch ring). Best of `ROUNDS`
+    /// passes over `LANES` lanes.
     // Wall-clock reads are the point: crates/bench is the simlint R3
     // allowlist (clippy mirrors the rule workspace-wide).
     #[allow(clippy::disallowed_methods)]

@@ -26,7 +26,9 @@
 //! * [`error`] — the typed [`error::CampaignError`] taxonomy the
 //!   supervisor classifies failures with;
 //! * [`summary`] — the deterministic merge + [`stats`] online aggregation
-//!   (Welford moments, P² quantiles, Wilson intervals) in O(1) memory;
+//!   (Welford moments, P² quantiles, Wilson intervals, and — for declared
+//!   histogram fields — fixed-bin streaming histograms plus mergeable rank
+//!   sketches) in memory independent of the trial count;
 //! * [`digest`] — the FNV-1a stream digest that pins it all down: equal
 //!   for any shard count, worker schedule, in-process vs. subprocess
 //!   execution, and interrupt + resume.
@@ -63,9 +65,9 @@ pub mod prelude {
     pub use crate::error::CampaignError;
     pub use crate::exec::{run_campaign, CampaignConfig, ExecMode};
     pub use crate::faults::{FaultPlan, FaultSpec};
-    pub use crate::record::{Field, FieldKind, Record, Schema, Value};
+    pub use crate::record::{Field, FieldKind, HistSpec, Record, Schema, Value};
     pub use crate::registry::{self, Campaign, Scenario};
-    pub use crate::stats::{wilson95, Aggregate, P2Quantile, Welford};
+    pub use crate::stats::{wilson95, Aggregate, P2Quantile, RankSketch, StreamHist, Welford};
     pub use crate::summary::Summary;
     pub use crate::supervisor::{run_supervised, SupervisedRun, SupervisorConfig};
 }

@@ -39,7 +39,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: campaign <list | run <scenario> [options] | worker …>\n\
-                 run options: [--shards K] [--workers N] [--master-seed S] [--paper]\n\
+                 run options: [--shards K] [--workers N] [--master-seed S]\n\
+                 \x20            [--scale quick|paper] [--paper] [--resolvers N]\n\
                  \x20            [--subprocess] [--out DIR] [--fresh] [--quiet]\n\
                  \x20            [--supervised] [--max-retries R] [--worker-timeout MS]\n\
                  \x20            [--poll-interval MS] [--fault shard:spec[:xN]]…"
@@ -127,6 +128,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "shards",
             "workers",
             "master-seed",
+            "scale",
+            "resolvers",
             "out",
             "max-retries",
             "worker-timeout",
@@ -141,10 +144,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let scenario = registry::find(name)
         .ok_or_else(|| format!("unknown scenario {name:?} (see `campaign list`)"))?;
 
-    let paper = parsed.has("paper");
+    // `--scale paper` is the canonical spelling; `--paper` stays as the
+    // historic alias. `--resolvers N` overrides just the survey population
+    // (labelled "custom" so run directories never collide with the stock
+    // scales).
+    let paper = match parsed.flag("scale") {
+        None => parsed.has("paper"),
+        Some("quick") => false,
+        Some("paper") => true,
+        Some(other) => return Err(format!("--scale {other:?}: expected quick or paper")),
+    };
     let mut scale = if paper { Scale::paper() } else { Scale::quick() };
     scale.seed = parsed.parse("master-seed", scale.seed)?;
-    let scale_label = if paper { "paper" } else { "quick" };
+    let mut scale_label = if paper { "paper" } else { "quick" };
+    if let Some(n) = parsed.flag("resolvers") {
+        scale.resolvers = n.parse().map_err(|e| format!("--resolvers {n:?}: {e}"))?;
+        scale_label = "custom";
+    }
 
     let shards: usize = parsed.parse("shards", 4)?;
     let shards = shards.max(1);

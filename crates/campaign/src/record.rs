@@ -16,7 +16,14 @@
 use std::fmt::Write as _;
 
 /// The type of one schema field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The histogram kinds are wire-identical to their scalar bases (`HistU64`
+/// encodes/decodes exactly like `U64`, `HistF64` like `F64`) — the
+/// [`HistSpec`] only changes how the coordinator *aggregates* the field:
+/// instead of P² quantiles it builds a fixed-bin `StreamHist` plus a
+/// mergeable rank sketch, which is what puts a figure-ready histogram
+/// section into `summary.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FieldKind {
     /// `true` / `false` (nullable).
     Bool,
@@ -26,6 +33,24 @@ pub enum FieldKind {
     F64,
     /// UTF-8 string (nullable).
     Str,
+    /// Unsigned integer aggregated into a declared histogram (nullable).
+    HistU64(HistSpec),
+    /// Float aggregated into a declared histogram (nullable).
+    HistF64(HistSpec),
+}
+
+/// The static shape of a declared histogram field: bin `i` covers
+/// `[lo + i·width, lo + (i+1)·width)`, with clamped extremes (see
+/// `runner::StreamHist`). Const-constructible so scenario schemas can
+/// declare figure bucketing statically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSpec {
+    /// Low edge of bin 0.
+    pub lo: f64,
+    /// Bin width (positive).
+    pub width: f64,
+    /// Number of bins (positive).
+    pub bins: usize,
 }
 
 /// One named, typed field of a scenario's record schema.
@@ -241,11 +266,11 @@ impl Parser<'_> {
                     Err(format!("expected bool at byte {}", self.pos))
                 }
             }
-            FieldKind::U64 => {
+            FieldKind::U64 | FieldKind::HistU64(_) => {
                 let tok = self.number_token()?;
                 tok.parse::<u64>().map(Value::U64).map_err(|e| format!("bad u64 {tok:?}: {e}"))
             }
-            FieldKind::F64 => {
+            FieldKind::F64 | FieldKind::HistF64(_) => {
                 let tok = self.number_token()?;
                 tok.parse::<f64>().map(Value::F64).map_err(|e| format!("bad f64 {tok:?}: {e}"))
             }
@@ -374,6 +399,28 @@ mod tests {
             r#"{"oops":true,"count":2,"shift":3.0,"who":"x"}"#, // wrong key
         ] {
             assert!(decode_line(SCHEMA, bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn hist_kinds_are_wire_identical_to_their_scalar_bases() {
+        const SPEC: HistSpec = HistSpec { lo: -200.0, width: 25.0, bins: 17 };
+        const HIST: &Schema = &[
+            Field { name: "ttl", kind: FieldKind::HistU64(SPEC) },
+            Field { name: "ms", kind: FieldKind::HistF64(SPEC) },
+        ];
+        const SCALAR: &Schema = &[
+            Field { name: "ttl", kind: FieldKind::U64 },
+            Field { name: "ms", kind: FieldKind::F64 },
+        ];
+        for rec in [
+            Record(vec![Value::U64(42), Value::F64(-3.25)]),
+            Record(vec![Value::Null, Value::Null]),
+        ] {
+            let line = encode_line(HIST, &rec);
+            assert_eq!(line, encode_line(SCALAR, &rec));
+            assert_eq!(decode_line(HIST, &line).expect("decodes"), rec);
+            assert_eq!(decode_line(SCALAR, &line).expect("decodes"), rec);
         }
     }
 

@@ -14,9 +14,9 @@
 use measure::prelude::*;
 use ntp::prelude::ClientKind;
 use runner::scan_seed;
-use timeshift::experiments::{self, salts, Scale, Table2Case};
+use timeshift::experiments::{self, figspec, salts, Scale, Table2Case};
 
-use crate::record::{opt, Field, FieldKind, Record, Schema};
+use crate::record::{opt, Field, FieldKind, HistSpec, Record, Schema};
 
 /// A built campaign: the scenario instantiated at a [`Scale`], holding its
 /// generated population. Trials are independent and callable from any
@@ -213,8 +213,10 @@ const PMTUD_SCHEMA: &Schema = &[
     Field { name: "min_fragment_size", kind: FieldKind::U64 },
 ];
 
-/// Shared shape of the population-driven scans: a generated population,
-/// the per-item seed base, and a flat record projection.
+/// Shared shape of the small population-driven scans whose populations are
+/// inherently materialized (e.g. the globally-shuffled 30 pool
+/// nameservers): a generated population, the per-item seed base, and a
+/// flat record projection.
 struct PopCampaign<S: Send + Sync> {
     pop: Vec<S>,
     base_seed: u64,
@@ -230,6 +232,29 @@ impl<S: Send + Sync> Campaign for PopCampaign<S> {
     }
 }
 
+/// The lazily-generated population scans: trial `idx` derives its spec
+/// on demand from `(pop_seed, idx)` — a pure function, O(1) work — so a
+/// paper-scale campaign (1.58 M resolver trials) holds **no** population
+/// `Vec` at all: building the campaign is O(1) memory, and shard workers
+/// touch only the specs in their own index range.
+struct LazyPopCampaign<S> {
+    trials: usize,
+    pop_seed: u64,
+    spec_at: fn(u64, usize) -> S,
+    base_seed: u64,
+    record: fn(&S, u64) -> Record,
+}
+
+impl<S> Campaign for LazyPopCampaign<S> {
+    fn trials(&self) -> usize {
+        self.trials
+    }
+    fn run_trial(&self, idx: usize) -> Record {
+        let spec = (self.spec_at)(self.pop_seed, idx);
+        (self.record)(&spec, scan_seed(self.base_seed, idx))
+    }
+}
+
 fn pmtud_record(spec: &NameserverSpec, seed: u64) -> Record {
     let v = scan_nameserver(spec, seed);
     Record(vec![
@@ -242,8 +267,10 @@ fn pmtud_record(spec: &NameserverSpec, seed: u64) -> Record {
 
 fn build_fig5(scale: Scale) -> Box<dyn Campaign> {
     // Population and per-item seeds match `experiments::fig5`.
-    Box::new(PopCampaign {
-        pop: domain_nameservers(scale.domains, scale.seed ^ salts::FIG5_POP),
+    Box::new(LazyPopCampaign {
+        trials: scale.domains,
+        pop_seed: scale.seed ^ salts::FIG5_POP,
+        spec_at: domain_nameserver_at,
         base_seed: scale.seed ^ salts::FIG5_SCAN,
         record: pmtud_record,
     })
@@ -260,12 +287,31 @@ fn build_pmtud(scale: Scale) -> Box<dyn Campaign> {
 
 // --------------------------------- Table IV / Fig. 6 / Fig. 7 (snooping)
 
+/// Fig. 6 bucketing: TTLs in `[0, FIG6_MAX)` at `FIG6_BUCKET`-second
+/// granularity, derived from [`figspec`] so the registry and the legacy
+/// `measure::snoop::ttl_histogram` path can never drift apart.
+const FIG6_TTL_HIST: HistSpec = HistSpec {
+    lo: 0.0,
+    width: figspec::FIG6_BUCKET as f64,
+    bins: figspec::FIG6_MAX.div_ceil(figspec::FIG6_BUCKET) as usize,
+};
+
+/// Fig. 7 bucketing: timing differences clamped to `±FIG7_CLAMP_MS`,
+/// `FIG7_BUCKET_MS`-wide bins, one extra bin so the positive clamp edge
+/// lands in its own bucket — the exact rule of
+/// `measure::snoop::timing_histogram`.
+const FIG7_TIMING_HIST: HistSpec = HistSpec {
+    lo: -figspec::FIG7_CLAMP_MS,
+    width: figspec::FIG7_BUCKET_MS,
+    bins: (2.0 * figspec::FIG7_CLAMP_MS / figspec::FIG7_BUCKET_MS) as usize + 1,
+};
+
 const SNOOP_SCHEMA: &Schema = &[
     Field { name: "verified", kind: FieldKind::Bool },
     Field { name: "cached_count", kind: FieldKind::U64 },
-    Field { name: "apex_a_ttl", kind: FieldKind::U64 },
+    Field { name: "apex_a_ttl", kind: FieldKind::HistU64(FIG6_TTL_HIST) },
     Field { name: "accepts_fragments", kind: FieldKind::Bool },
-    Field { name: "timing_diff_ms", kind: FieldKind::F64 },
+    Field { name: "timing_diff_ms", kind: FieldKind::HistF64(FIG7_TIMING_HIST) },
 ];
 
 fn snoop_record(spec: &OpenResolverSpec, seed: u64) -> Record {
@@ -280,9 +326,13 @@ fn snoop_record(spec: &OpenResolverSpec, seed: u64) -> Record {
 }
 
 fn build_snoop(scale: Scale) -> Box<dyn Campaign> {
-    // Population and per-item seeds match `experiments::resolver_survey`.
-    Box::new(PopCampaign {
-        pop: open_resolvers(scale.resolvers, scale.seed),
+    // Population and per-item seeds match `experiments::resolver_survey`;
+    // the population is the paper's 1.58 M open resolvers at paper scale,
+    // so it is never materialized — each trial derives its spec on demand.
+    Box::new(LazyPopCampaign {
+        trials: scale.resolvers,
+        pop_seed: scale.seed,
+        spec_at: open_resolver_at,
         base_seed: scale.seed ^ salts::SNOOP_SCAN,
         record: snoop_record,
     })
@@ -313,12 +363,34 @@ fn table5_record(spec: &AdClientSpec, seed: u64) -> Record {
     ])
 }
 
+/// Table V needs the population scale threaded alongside the pop seed
+/// (its per-index accessor is `(seed, fraction, idx)`), so it gets its
+/// own lazy campaign rather than forcing a third parameter through
+/// [`LazyPopCampaign`]'s fn pointer.
+struct AdStudyCampaign {
+    trials: usize,
+    pop_seed: u64,
+    base_seed: u64,
+    fraction: f64,
+}
+
+impl Campaign for AdStudyCampaign {
+    fn trials(&self) -> usize {
+        self.trials
+    }
+    fn run_trial(&self, idx: usize) -> Record {
+        let spec = ad_client_at(self.pop_seed, self.fraction, idx);
+        table5_record(&spec, scan_seed(self.base_seed, idx))
+    }
+}
+
 fn build_table5(scale: Scale) -> Box<dyn Campaign> {
     // Population and per-item seeds match `experiments::table5`.
-    Box::new(PopCampaign {
-        pop: ad_clients_scaled(scale.seed ^ salts::TABLE5_POP, scale.ad_fraction),
+    Box::new(AdStudyCampaign {
+        trials: ad_client_count(scale.ad_fraction),
+        pop_seed: scale.seed ^ salts::TABLE5_POP,
         base_seed: scale.seed ^ salts::TABLE5_SCAN,
-        record: table5_record,
+        fraction: scale.ad_fraction,
     })
 }
 
@@ -346,8 +418,10 @@ fn ratelimit_record(spec: &PoolServerSpec, seed: u64) -> Record {
 
 fn build_ratelimit(scale: Scale) -> Box<dyn Campaign> {
     // Population and per-item seeds match `experiments::ratelimit_scan`.
-    Box::new(PopCampaign {
-        pop: pool_servers(scale.pool_servers, scale.seed ^ salts::RATELIMIT_POP),
+    Box::new(LazyPopCampaign {
+        trials: scale.pool_servers,
+        pop_seed: scale.seed ^ salts::RATELIMIT_POP,
+        spec_at: pool_server_at,
         base_seed: scale.seed ^ salts::RATELIMIT_SCAN,
         record: ratelimit_record,
     })

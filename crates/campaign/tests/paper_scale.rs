@@ -1,0 +1,155 @@
+//! Paper-scale population tests: the lazy per-index spec accessors must
+//! be bit-identical to the materialized populations (pinned by a golden
+//! digest at quick scale), and the `table4_snoop` campaign paths must
+//! stay in bounded memory at the paper's 1 583 045-resolver scale — the
+//! whole point of never materializing the population `Vec`.
+//!
+//! The two paper-scale memory tests are `#[ignore]`d (seconds of work and
+//! Linux `/proc` parsing); run them with `cargo test --release -- --ignored`.
+
+use campaign::digest::Digest;
+use campaign::{exec, registry};
+use measure::prelude::*;
+use timeshift::experiments::{salts, Scale};
+
+/// Digest of every lazily-derived spec of the quick-scale populations, in
+/// index order. This must be stable across refactors of the generation
+/// internals: the per-index accessors are the *definition* of the
+/// populations now, and every checkpointed campaign digest depends on
+/// them transitively.
+fn quick_population_digest() -> String {
+    let scale = Scale::quick();
+    let mut d = Digest::new();
+    for idx in 0..scale.resolvers {
+        d.update_line(&format!("{:?}", open_resolver_at(scale.seed, idx)));
+    }
+    for idx in 0..scale.domains {
+        d.update_line(&format!("{:?}", domain_nameserver_at(scale.seed ^ salts::FIG5_POP, idx)));
+    }
+    for idx in 0..scale.pool_servers {
+        d.update_line(&format!("{:?}", pool_server_at(scale.seed ^ salts::RATELIMIT_POP, idx)));
+    }
+    for idx in 0..ad_client_count(scale.ad_fraction) {
+        d.update_line(&format!(
+            "{:?}",
+            ad_client_at(scale.seed ^ salts::TABLE5_POP, scale.ad_fraction, idx)
+        ));
+    }
+    d.hex()
+}
+
+#[test]
+fn lazy_specs_are_bit_identical_to_materialized_populations() {
+    let scale = Scale::quick();
+    let resolvers = open_resolvers(scale.resolvers, scale.seed);
+    for (idx, spec) in resolvers.iter().enumerate() {
+        assert_eq!(
+            format!("{spec:?}"),
+            format!("{:?}", open_resolver_at(scale.seed, idx)),
+            "open resolver {idx}"
+        );
+    }
+    let domains = domain_nameservers(scale.domains, scale.seed ^ salts::FIG5_POP);
+    for (idx, spec) in domains.iter().enumerate() {
+        assert_eq!(
+            format!("{spec:?}"),
+            format!("{:?}", domain_nameserver_at(scale.seed ^ salts::FIG5_POP, idx)),
+            "domain nameserver {idx}"
+        );
+    }
+    let clients = ad_clients_scaled(scale.seed ^ salts::TABLE5_POP, scale.ad_fraction);
+    assert_eq!(clients.len(), ad_client_count(scale.ad_fraction));
+    for (idx, spec) in clients.iter().enumerate() {
+        assert_eq!(
+            format!("{spec:?}"),
+            format!("{:?}", ad_client_at(scale.seed ^ salts::TABLE5_POP, scale.ad_fraction, idx)),
+            "ad client {idx}"
+        );
+    }
+}
+
+#[test]
+fn quick_scale_population_digest_is_pinned() {
+    // Golden value: regenerating it is a *population change* — every
+    // campaign record and checkpoint digest downstream shifts with it, so
+    // a failure here means "you changed the paper's populations", not
+    // "update the constant and move on".
+    assert_eq!(quick_population_digest(), "edb7afe6e202403d");
+}
+
+fn vm_hwm_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Coarse peak-RSS ceiling for the paper-scale memory tests: a lazy run
+/// sits well under it, while materializing the 1 583 045 resolver specs
+/// (~64 B each, >96 MiB before overhead) cannot fit.
+const PEAK_RSS_LIMIT_KB: u64 = 96 * 1024;
+
+#[test]
+#[ignore = "paper scale; run with --ignored on Linux (/proc)"]
+fn paper_scale_build_touches_full_index_space_in_bounded_memory() {
+    let scale = Scale::paper();
+    let scenario = registry::find("table4_snoop").expect("registered");
+    let campaign = scenario.build(scale);
+    assert_eq!(campaign.trials(), 1_583_045);
+    // Touch a spread of trials across the whole 1.58 M index space; each
+    // derives its resolver spec on demand.
+    for idx in (0..campaign.trials()).step_by(97_651) {
+        let record = campaign.run_trial(idx);
+        assert_eq!(record.0.len(), scenario.schema.len());
+    }
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    let hwm = vm_hwm_kb(&status).expect("VmHWM line");
+    assert!(
+        hwm < PEAK_RSS_LIMIT_KB,
+        "peak RSS {hwm} kB: the lazy build must not materialize 1.58M specs"
+    );
+}
+
+#[test]
+#[ignore = "paper scale; run with --ignored on Linux (/proc)"]
+fn paper_scale_worker_stays_within_memory_budget() {
+    let scale = Scale::paper();
+    let dir = std::env::temp_dir().join(format!("paper-scale-worker-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let checkpoint = dir.join("shard-0.ndjson");
+    let _ = std::fs::remove_file(&checkpoint);
+
+    // Shard 0 of 256 ≈ 6.2k of the 1.58M resolvers: long enough to sample
+    // the worker's memory while it streams, short enough for a test.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["worker", "--scenario", "table4_snoop", "--shard", "0/256", "--skip", "0"])
+        .arg("--checkpoint")
+        .arg(&checkpoint)
+        .args(["--scale-spec", &exec::scale_spec(&scale)])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn worker");
+
+    let status_path = format!("/proc/{}/status", child.id());
+    let mut peak_kb = 0u64;
+    loop {
+        if let Ok(s) = std::fs::read_to_string(&status_path) {
+            if let Some(kb) = vm_hwm_kb(&s) {
+                peak_kb = peak_kb.max(kb);
+            }
+        }
+        if let Some(status) = child.try_wait().expect("wait") {
+            assert!(status.success(), "worker failed: {status}");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(peak_kb > 0, "never sampled the worker's memory");
+    assert!(
+        peak_kb < PEAK_RSS_LIMIT_KB,
+        "worker peak RSS {peak_kb} kB: paper-scale shards must not materialize the population"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -91,6 +91,110 @@ proptest! {
         }
     }
 
+    /// StreamHist vs. an independent linear-scan bucket oracle. Samples,
+    /// origin and width are integer-valued so the float arithmetic is
+    /// exact and bucket edges are unambiguous (fractional edges are
+    /// covered by the unit tests in `runner::hist`).
+    #[test]
+    fn stream_hist_matches_linear_scan_oracle(
+        lo in -100i32..100,
+        width in 1u32..10,
+        bins in 1usize..40,
+        samples in proptest::collection::vec(-500i32..500, 0..300),
+    ) {
+        let lo = f64::from(lo);
+        let width = f64::from(width);
+        let mut h = StreamHist::new(lo, width, bins);
+        for &s in &samples {
+            h.push(f64::from(s));
+        }
+        let mut expect = vec![0u64; bins];
+        for &s in &samples {
+            let x = f64::from(s);
+            let mut idx = bins - 1; // above the top edge clamps high
+            if x <= lo {
+                idx = 0;
+            } else {
+                for i in 0..bins {
+                    if x < lo + (i + 1) as f64 * width {
+                        idx = i;
+                        break;
+                    }
+                }
+            }
+            expect[idx] += 1;
+        }
+        prop_assert_eq!(h.counts(), expect.as_slice());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Sharded StreamHist merge == single stream, with the shard merge
+    /// applied in reverse order (merge is commutative + associative, so
+    /// shard placement must never matter).
+    #[test]
+    fn stream_hist_sharded_merge_matches_single_stream(
+        samples in proptest::collection::vec(-200i32..200, 0..300),
+        chunk in 1usize..50,
+    ) {
+        let mut whole = StreamHist::new(-64.0, 8.0, 16);
+        for &s in &samples {
+            whole.push(f64::from(s));
+        }
+        let mut merged = StreamHist::new(-64.0, 8.0, 16);
+        for part in samples.chunks(chunk).rev() {
+            let mut shard = StreamHist::new(-64.0, 8.0, 16);
+            for &s in part {
+                shard.push(f64::from(s));
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(&merged, &whole);
+    }
+
+    /// RankSketch vs. exact nearest-rank quantiles: the log-bucket keys
+    /// are exact counters, so the estimate is within the configured
+    /// relative error of the exact batch quantile — for every stream.
+    #[test]
+    fn rank_sketch_tracks_exact_quantiles(
+        samples in proptest::collection::vec(-1.0e4f64..1.0e4, 1..400),
+        p_sel in 0usize..4,
+    ) {
+        let p = [0.1, 0.5, 0.9, 0.99][p_sel];
+        let mut sk = RankSketch::default_error();
+        for &x in &samples {
+            sk.push(x);
+        }
+        let est = sk.quantile(p).expect("samples seen");
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, p);
+        prop_assert!((est - exact).abs() <= 0.01 * exact.abs() + 1e-9,
+            "p{}: estimate {est} vs exact {exact} (n={})",
+            (p * 100.0) as u32, samples.len());
+    }
+
+    /// Sharded RankSketch merge is *bit-identical* to the single-stream
+    /// sketch (bucket counters add exactly), independent of shard order.
+    #[test]
+    fn rank_sketch_sharded_merge_matches_single_stream(
+        samples in proptest::collection::vec(-1.0e3f64..1.0e3, 0..300),
+        chunk in 1usize..50,
+    ) {
+        let mut whole = RankSketch::default_error();
+        for &x in &samples {
+            whole.push(x);
+        }
+        let mut merged = RankSketch::default_error();
+        for part in samples.chunks(chunk).rev() {
+            let mut shard = RankSketch::default_error();
+            for &x in part {
+                shard.push(x);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(&merged, &whole);
+    }
+
     /// Record lines round-trip arbitrary values bit-exactly.
     #[test]
     fn record_lines_round_trip(

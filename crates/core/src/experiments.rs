@@ -65,8 +65,25 @@ pub mod salts {
     pub const SHARED_SCAN: u64 = 0x8BB;
 }
 
+/// The figure histogram shapes, shared between the in-process formatters
+/// below and the campaign registry's `HistU64`/`HistF64` schema
+/// declarations (`crates/campaign`) — both must bucket identically, so
+/// both read these constants, never retyped numbers.
+pub mod figspec {
+    /// Fig. 6 TTL bucket width (seconds).
+    pub const FIG6_BUCKET: u32 = 10;
+    /// Fig. 6 TTL range top (the A-record TTL, 150 s).
+    pub const FIG6_MAX: u32 = 150;
+    /// Fig. 7 timing bucket width (ms).
+    pub const FIG7_BUCKET_MS: f64 = 25.0;
+    /// Fig. 7 clamp (± ms): samples outside clamp into the edge buckets.
+    pub const FIG7_CLAMP_MS: f64 = 200.0;
+}
+
 impl Scale {
-    /// Small sizes for fast runs (seconds).
+    /// Small sizes for fast runs (seconds) — what CI and the test suite
+    /// use everywhere. Populations are generated lazily per index, but at
+    /// this scale materializing them is also fine.
     pub fn quick() -> Self {
         Scale {
             resolvers: 300,
@@ -79,10 +96,17 @@ impl Scale {
         }
     }
 
-    /// The paper's population sizes where feasible (minutes).
+    /// The paper's true population sizes — including the full 1 583 045
+    /// open resolvers of the Table IV / Fig. 6 / Fig. 7 survey. Runs at
+    /// this scale go through the campaign layer (`campaign run
+    /// table4_snoop --scale paper`), which generates each resolver spec
+    /// lazily from its trial index and aggregates online, so memory stays
+    /// bounded; wall-clock is CPU-bound (hours on one box, shardable).
+    /// The in-process `resolver_survey` driver materializes its
+    /// population and is only meant for [`Scale::quick`]-sized runs.
     pub fn paper() -> Self {
         Scale {
-            resolvers: 20_000,
+            resolvers: 1_583_045,
             domains: 50_000,
             ad_fraction: 1.0,
             shared: SHARED_STUDY_SIZE,
@@ -350,8 +374,11 @@ pub fn format_table4(survey: &SurveyResult) -> String {
 pub fn format_fig6(survey: &SurveyResult) -> String {
     let mut out =
         String::from("FIG. 6 — TTL VALUES OF CACHED NTP POOL RECORDS\nttl-bucket  count\n");
-    for (bucket, count) in survey.ttl_histogram(10, 150) {
-        out.push_str(&format!("{bucket:>3}-{:>3}s    {count}\n", bucket + 9));
+    for (bucket, count) in survey.ttl_histogram(figspec::FIG6_BUCKET, figspec::FIG6_MAX) {
+        out.push_str(&format!(
+            "{bucket:>3}-{:>3}s    {count}\n",
+            bucket + figspec::FIG6_BUCKET - 1
+        ));
     }
     out
 }
@@ -361,7 +388,7 @@ pub fn format_fig7(survey: &SurveyResult) -> String {
     let mut out = String::from(
         "FIG. 7 — LATENCY DIFFERENCE t_first - t_avg (pool.ntp.org IN NS)\nbucket(ms)  count\n",
     );
-    for (lo, count) in survey.timing_histogram(25.0, 200.0) {
+    for (lo, count) in survey.timing_histogram(figspec::FIG7_BUCKET_MS, figspec::FIG7_CLAMP_MS) {
         out.push_str(&format!("{lo:>6.0}      {count}\n"));
     }
     out

@@ -44,9 +44,11 @@ pub mod prelude {
         run_scan as run_pmtud_scan, scan_nameserver, PmtudScanResult, PmtudVerdict, CDF_THRESHOLDS,
     };
     pub use crate::population::{
-        ad_clients, ad_clients_scaled, domain_nameservers, open_resolvers, pool_nameservers,
-        pool_servers, shared_resolvers, AdClientSpec, NameserverSpec, OpenResolverSpec,
-        PoolServerSpec, Region, SharedResolverSpec, POOL_SCAN_SIZE, SHARED_STUDY_SIZE,
+        ad_client_at, ad_client_count, ad_clients, ad_clients_scaled, domain_nameserver_at,
+        domain_nameservers, open_resolver_at, open_resolvers, pool_nameservers, pool_server_at,
+        pool_servers, shared_resolver_at, shared_resolvers, AdClientSpec, NameserverSpec,
+        OpenResolverSpec, PoolServerSpec, Region, SharedResolverSpec, POOL_SCAN_SIZE,
+        SHARED_STUDY_SIZE,
     };
     pub use crate::ratelimit::{
         run_scan as run_ratelimit_scan, scan_server, RateLimitScanResult, ServerVerdict,

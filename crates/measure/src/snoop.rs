@@ -94,28 +94,29 @@ impl SurveyResult {
         self.fragment_acceptors as f64 / self.verified.max(1) as f64
     }
 
-    /// Histogram of Fig. 6 (bucket width in seconds).
+    /// Histogram of Fig. 6 (bucket width in seconds). Bucketing delegates
+    /// to the workspace's one histogram rule ([`runner::StreamHist`]), so
+    /// this is bucket-for-bucket identical to the campaign aggregator's
+    /// `apex_a_ttl` histogram section.
     pub fn ttl_histogram(&self, bucket: u32, max: u32) -> Vec<(u32, usize)> {
-        let mut out: Vec<(u32, usize)> =
-            (0..max.div_ceil(bucket)).map(|i| (i * bucket, 0)).collect();
+        let mut hist =
+            runner::StreamHist::new(0.0, f64::from(bucket), max.div_ceil(bucket) as usize);
         for &ttl in &self.ttl_samples {
-            let idx = (ttl / bucket).min(out.len() as u32 - 1) as usize;
-            out[idx].1 += 1;
+            hist.push(f64::from(ttl));
         }
-        out
+        hist.bins().map(|(lo, c)| (lo as u32, c as usize)).collect()
     }
 
-    /// Histogram of Fig. 7 (bucket width ms, clamped to ±clamp).
+    /// Histogram of Fig. 7 (bucket width ms, clamped to ±clamp) — the
+    /// same [`runner::StreamHist`] shape the campaign aggregator declares
+    /// for `timing_diff_ms`.
     pub fn timing_histogram(&self, bucket_ms: f64, clamp_ms: f64) -> Vec<(f64, usize)> {
-        let buckets = (2.0 * clamp_ms / bucket_ms) as usize + 1;
-        let mut out: Vec<(f64, usize)> =
-            (0..buckets).map(|i| (-clamp_ms + i as f64 * bucket_ms, 0)).collect();
+        let bins = (2.0 * clamp_ms / bucket_ms) as usize + 1;
+        let mut hist = runner::StreamHist::new(-clamp_ms, bucket_ms, bins);
         for &d in &self.timing_diffs_ms {
-            let clamped = d.clamp(-clamp_ms, clamp_ms);
-            let idx = (((clamped + clamp_ms) / bucket_ms) as usize).min(buckets - 1);
-            out[idx].1 += 1;
+            hist.push(d);
         }
-        out
+        hist.bins().map(|(lo, c)| (lo, c as usize)).collect()
     }
 }
 

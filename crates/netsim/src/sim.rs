@@ -142,10 +142,10 @@ struct IpidSlot {
 /// verification on receive, PMTUD bookkeeping, IPID assignment.
 ///
 /// Laid out structure-of-arrays style across the host slab: the scalar
-/// state the event loop touches per packet ([`StackHot`]) sits inline in
+/// state the event loop touches per packet (`StackHot`) sits inline in
 /// the slot, while the caches and config a packet only needs in the
 /// uncommon cases (fragments pending, PMTU learned, per-destination IPID)
-/// live behind one pointer in [`StackCold`]. A host slab entry is 48 B —
+/// live behind one pointer in `StackCold`. A host slab entry is 48 B —
 /// 21 hosts per 1 KiB of cache — instead of the several hundred bytes the
 /// inline caches used to cost.
 #[derive(Debug)]
@@ -157,7 +157,7 @@ pub struct NetStack {
 /// The per-packet scalar state of a stack, kept inline in the host slab.
 ///
 /// The mirrored flags exist so the common case — no fragments pending, no
-/// path MTU learned — never dereferences [`StackCold`]: they are updated
+/// path MTU learned — never dereferences `StackCold`: they are updated
 /// whenever the cold state they summarise changes, and a conservatively
 /// stale `true` only costs the dereference (never correctness).
 #[derive(Debug)]
@@ -748,7 +748,7 @@ enum EventKind {
 
 /// One slab slot: a host, its stack, and the address they answer to.
 /// Slots pack the per-event scalar state contiguously (see [`NetStack`]);
-/// the 48-B budget is asserted next to [`StackHot`].
+/// the 48-B budget is asserted next to `StackHot`.
 struct HostSlot {
     addr: Ipv4Addr,
     host: Box<dyn Host>,

@@ -183,7 +183,7 @@ impl<T> TimingWheel<T> {
     ///
     /// Why a same-instant run may be drained wholesale: an entry sits in
     /// `ready` exactly when its tick is at or behind the cursor, and
-    /// [`prime`](TimingWheel::prime) exposes a whole level-0 slot (one
+    /// `prime` exposes a whole level-0 slot (one
     /// tick) at a time — so the moment an instant surfaces, *every* queued
     /// entry with that instant is already in the sorted ready run, and the
     /// run is maximal. Anything scheduled while the caller dispatches the

@@ -18,6 +18,10 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
+
+pub use hist::StreamHist;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
