@@ -33,6 +33,7 @@ use timeshift::experiments::Scale;
 use crate::checkpoint::{self, Appender};
 use crate::error::CampaignError;
 use crate::faults::{FaultSpec, GARBAGE_LINE, TORN_BYTES};
+use crate::metrics::Metrics;
 use crate::record::{decode_line, encode_line, Schema};
 use crate::registry::Scenario;
 use crate::summary::{self, Summary};
@@ -113,7 +114,7 @@ pub(crate) fn plan_and_recover(
             checkpoint::recover(&checkpoint::shard_path(&config.dir, k), config.scenario.schema)?;
         if let checkpoint::Recovery::Quarantined { quarantined_to, line } = &recovery {
             if config.verbose {
-                eprintln!(
+                obs::console!(
                     "shard {k}: checkpoint corrupt at line {line}; quarantined to {} — \
                      restarting shard from record 0",
                     quarantined_to.display()
@@ -126,7 +127,7 @@ pub(crate) fn plan_and_recover(
         }
         if done < planned {
             if config.verbose && done > 0 {
-                eprintln!("shard {k}: resuming at record {done}/{planned}");
+                obs::console!("shard {k}: resuming at record {done}/{planned}");
             }
             pending.push((k, range.clone(), done));
         }
@@ -183,7 +184,17 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<Summary, CampaignError> {
         }
     }
 
-    summary::merge(config.scenario, &config.scale_label, config.scale.seed, &config.dir, &ranges)
+    let summary = summary::merge(
+        config.scenario,
+        &config.scale_label,
+        config.scale.seed,
+        &config.dir,
+        &ranges,
+    )?;
+    // The normalized final metrics snapshot: built purely from the merged
+    // summary, so it is bit-identical for any worker count or exec mode.
+    Metrics::final_snapshot(&summary).write(&config.dir)?;
+    Ok(summary)
 }
 
 /// One in-flight subprocess worker: shard index, records expected from
@@ -296,7 +307,7 @@ fn run_shard_in_process(
         out.append_line(&encode_line(config.scenario.schema, &record))?;
     }
     if config.verbose {
-        eprintln!("shard {k}: complete ({} records)", range.end - range.start);
+        obs::console!("shard {k}: complete ({} records)", range.end - range.start);
     }
     Ok(())
 }
@@ -363,7 +374,7 @@ pub(crate) fn drain_stream(
         }
         streamed += 1;
         if verbose && streamed.is_multiple_of(tick) {
-            eprintln!("shard {k}: {streamed}/{expected} records streamed");
+            obs::console!("shard {k}: {streamed}/{expected} records streamed");
         }
     }
     Ok(streamed)

@@ -25,6 +25,10 @@
 //!   digest is bit-identical to a fault-free run;
 //! * [`error`] — the typed [`error::CampaignError`] taxonomy the
 //!   supervisor classifies failures with;
+//! * [`metrics`] — the live `metrics.json` sidecar: per-shard progress,
+//!   lease states, and incremental estimator snapshots rewritten
+//!   atomically each supervision tick, plus the normalized (deterministic)
+//!   final snapshot every run writes after its merge;
 //! * [`summary`] — the deterministic merge + [`stats`] online aggregation
 //!   (Welford moments, P² quantiles, Wilson intervals, and — for declared
 //!   histogram fields — fixed-bin streaming histograms plus mergeable rank
@@ -53,6 +57,7 @@ pub mod digest;
 pub mod error;
 pub mod exec;
 pub mod faults;
+pub mod metrics;
 pub mod record;
 pub mod registry;
 pub mod stats;
@@ -65,6 +70,7 @@ pub mod prelude {
     pub use crate::error::CampaignError;
     pub use crate::exec::{run_campaign, CampaignConfig, ExecMode};
     pub use crate::faults::{FaultPlan, FaultSpec};
+    pub use crate::metrics::{metrics_path, Estimator, Metrics, ShardMetric};
     pub use crate::record::{Field, FieldKind, HistSpec, Record, Schema, Value};
     pub use crate::registry::{self, Campaign, Scenario};
     pub use crate::stats::{wilson95, Aggregate, P2Quantile, RankSketch, StreamHist, Welford};

@@ -19,7 +19,10 @@
 //! re-leased from their last good checkpoint, and a shard that exhausts
 //! `--max-retries` is quarantined into a partial summary with a coverage
 //! report. `--fault <shard>:<spec>[:xN]` injects deterministic failures
-//! for chaos testing (see `campaign::faults`).
+//! for chaos testing (see `campaign::faults`). Supervised runs rewrite a
+//! `metrics.json` sidecar in the campaign directory every poll tick;
+//! `--trace-dir DIR` additionally dumps each shard's supervision
+//! flight-recorder ring as `DIR/shard-K.trace` when the run ends.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,7 +46,8 @@ fn main() -> ExitCode {
                  \x20            [--scale quick|paper] [--paper] [--resolvers N]\n\
                  \x20            [--subprocess] [--out DIR] [--fresh] [--quiet]\n\
                  \x20            [--supervised] [--max-retries R] [--worker-timeout MS]\n\
-                 \x20            [--poll-interval MS] [--fault shard:spec[:xN]]…"
+                 \x20            [--poll-interval MS] [--fault shard:spec[:xN]]…\n\
+                 \x20            [--trace-dir DIR]"
             );
             return ExitCode::from(2);
         }
@@ -135,6 +139,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "worker-timeout",
             "poll-interval",
             "fault",
+            "trace-dir",
         ],
         &["paper", "subprocess", "fresh", "quiet", "supervised"],
     )?;
@@ -180,6 +185,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let supervised = parsed.has("supervised");
+    if parsed.has("trace-dir") && !supervised {
+        return Err("--trace-dir requires --supervised (rings record supervision events)".into());
+    }
     let mode = if parsed.has("subprocess") || supervised {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         ExecMode::Subprocess { exe }
@@ -212,6 +220,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             worker_timeout_ms: parsed.parse("worker-timeout", defaults.worker_timeout_ms)?,
             poll_interval_ms: parsed.parse("poll-interval", defaults.poll_interval_ms)?,
             faults,
+            trace_dir: parsed.flag("trace-dir").map(PathBuf::from),
             ..defaults
         };
         let ExecMode::Subprocess { exe } = &config.mode else {

@@ -173,6 +173,13 @@ const TABLE2_SCHEMA: &Schema = &[
     Field { name: "paper_mins", kind: FieldKind::F64 },
     Field { name: "observed_shift", kind: FieldKind::F64 },
     Field { name: "packets_sent", kind: FieldKind::U64 },
+    // The `explain_` prefix routes these through the summary's "explain"
+    // section: a per-trial account of *why* an attack failed (which drop
+    // family dominated) built from the simulator's drop taxonomy.
+    Field { name: "explain_fail_stage", kind: FieldKind::Str },
+    Field { name: "explain_frag_drops", kind: FieldKind::U64 },
+    Field { name: "explain_verify_drops", kind: FieldKind::U64 },
+    Field { name: "explain_total_drops", kind: FieldKind::U64 },
 ];
 
 struct Table2Campaign {
@@ -196,6 +203,10 @@ impl Campaign for Table2Campaign {
             row.paper_mins.into(),
             row.outcome.observed_shift.into(),
             row.outcome.packets_sent.into(),
+            row.outcome.fail_stage().into(),
+            row.outcome.frag_drops.into(),
+            row.outcome.verify_drops.into(),
+            row.outcome.total_drops.into(),
         ])
     }
 }

@@ -555,6 +555,36 @@ impl Aggregate {
         }
     }
 
+    /// Renders only the `explain_*`-prefixed fields — the compact
+    /// per-campaign failure-explanation aggregate that becomes the
+    /// `"explain"` section of `summary.json`. Schemas without explain
+    /// fields render an empty array, so the section is always present and
+    /// machine-checkable.
+    pub fn render_explain_json(&self, indent: &str) -> String {
+        let explain: Vec<_> = self
+            .schema
+            .iter()
+            .zip(&self.fields)
+            .filter(|(f, _)| f.name.starts_with("explain_"))
+            .collect();
+        if explain.is_empty() {
+            return "[]".into();
+        }
+        let mut out = String::from("[");
+        for (i, (field, (agg, nulls))) in explain.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(indent);
+            render_field_json(&mut out, field, agg, *nulls);
+        }
+        out.push('\n');
+        out.push_str(&indent[..indent.len().saturating_sub(2)]);
+        out.push(']');
+        out
+    }
+
     /// Renders the per-field aggregates as a JSON array (one object per
     /// field, schema order) — the `"fields"` section of `summary.json`.
     pub fn render_json(&self, indent: &str) -> String {

@@ -169,7 +169,13 @@ impl Summary {
                 last
             );
         }
-        out.push_str("\n  ],\n  \"fields\": ");
+        // "explain" sits between "coverage" and "fields": after the
+        // top-level "digest" (CI greps the first occurrence) and before
+        // the full per-field dump, so explain-only consumers can stop
+        // reading early.
+        out.push_str("\n  ],\n  \"explain\": ");
+        out.push_str(&self.aggregate.render_explain_json("    "));
+        out.push_str(",\n  \"fields\": ");
         out.push_str(&self.aggregate.render_json("    "));
         out.push_str("\n}\n");
         out

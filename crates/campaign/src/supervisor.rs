@@ -27,6 +27,17 @@
 //! missing shards, their attempt counts, and their final failures
 //! ([`summary::merge_with_quarantine`]).
 //!
+//! ## Observability
+//!
+//! Each supervised shard gets a fixed-capacity [`obs::FlightRecorder`]
+//! ring of supervision events (lease granted, crash/stall/corrupt-stream
+//! failures, quarantine, heal), dumped to
+//! [`SupervisorConfig::trace_dir`]`/shard-K.trace` at the end of the run.
+//! The loop also rewrites a `metrics.json` sidecar ([`crate::metrics`])
+//! atomically every poll tick: per-shard records on disk, lease states,
+//! attempt counts, the tick-based record rate, and incremental estimator
+//! snapshots folded from the checkpoints' appended bytes.
+//!
 //! ## No wall clock
 //!
 //! The workspace bans `Instant::now`/`SystemTime::now` outside the bench
@@ -44,7 +55,16 @@ use crate::checkpoint;
 use crate::error::CampaignError;
 use crate::exec::{self, CampaignConfig};
 use crate::faults::FaultPlan;
+use crate::metrics::{self, Metrics, ShardMetric};
+use crate::record::{decode_line, Schema};
+use crate::stats::Aggregate;
 use crate::summary::{self, QuarantinedShard, Summary};
+
+/// Capacity of each shard's supervision flight-recorder ring. Supervision
+/// stories are short (a handful of lease/failure events per shard), so a
+/// small fixed ring retains every event in practice while bounding memory
+/// for pathological retry storms.
+const SUPERVISION_RING_CAPACITY: usize = 256;
 
 /// Supervision policy: retry budget, stall timeout, backoff schedule,
 /// and the (normally empty) fault-injection plan.
@@ -68,6 +88,11 @@ pub struct SupervisorConfig {
     /// Deterministic fault injections (chaos harness). Empty in
     /// production.
     pub faults: FaultPlan,
+    /// Where to dump each shard's supervision flight-recorder ring
+    /// (`shard-K.trace`, one per supervised shard) when the run ends —
+    /// the post-mortem channel for quarantined shards. `None` disables
+    /// dumping (the rings still record).
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SupervisorConfig {
@@ -79,6 +104,7 @@ impl Default for SupervisorConfig {
             backoff_base_ticks: 2,
             backoff_cap_ticks: 16,
             faults: FaultPlan::none(),
+            trace_dir: None,
         }
     }
 }
@@ -163,6 +189,82 @@ struct ShardState {
     failures: Vec<String>,
 }
 
+impl ShardState {
+    fn lease_state(&self) -> &'static str {
+        match self.lease {
+            Lease::Ready { .. } => "pending",
+            Lease::Running(_) => "running",
+            Lease::Done => "done",
+            Lease::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Maps a lease failure onto its supervision trace-event kind.
+fn failure_kind(err: &CampaignError) -> u16 {
+    match err {
+        CampaignError::WorkerStalled { .. } => obs::kind::WORKER_STALL,
+        CampaignError::WorkerStream { .. }
+        | CampaignError::Schema { .. }
+        | CampaignError::CorruptCheckpoint { .. } => obs::kind::STREAM_CORRUPT,
+        _ => obs::kind::WORKER_CRASH,
+    }
+}
+
+/// Per-shard incremental checkpoint tail reader: consumes only the bytes
+/// appended since the last tick, folds every complete record line into
+/// the shared live aggregate, and counts records exactly (one `\n` per
+/// record). This is what turns the stall detector's byte watch into live
+/// estimator snapshots without ever re-reading a checkpoint prefix.
+struct TailReader {
+    offset: u64,
+    carry: Vec<u8>,
+    records: usize,
+}
+
+impl TailReader {
+    fn new() -> TailReader {
+        TailReader { offset: 0, carry: Vec::new(), records: 0 }
+    }
+
+    /// Reads `path` from the consumed offset to its current end, folding
+    /// complete lines into `agg`. Live-path tolerant: I/O failures and
+    /// undecodable lines are skipped (recovery and the merge own
+    /// correctness; this feed is advisory).
+    fn scan(&mut self, path: &Path, schema: &'static Schema, agg: &mut Aggregate) {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let Ok(mut file) = std::fs::File::open(path) else { return };
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < self.offset {
+            // The checkpoint shrank under us (torn-tail truncation or a
+            // corruption quarantine on re-lease). Already-folded samples
+            // can't be rewound, so just resync — the final snapshot is
+            // rebuilt from the ordered merge regardless.
+            self.offset = len;
+            self.carry.clear();
+            return;
+        }
+        if len == self.offset || file.seek(SeekFrom::Start(self.offset)).is_err() {
+            return;
+        }
+        let mut buf = Vec::new();
+        if file.read_to_end(&mut buf).is_err() {
+            return;
+        }
+        self.offset += buf.len() as u64;
+        self.carry.extend_from_slice(&buf);
+        while let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.carry.drain(..=pos).collect();
+            self.records += 1;
+            if let Ok(body) = std::str::from_utf8(&line[..line.len() - 1]) {
+                if let Ok(record) = decode_line(schema, body) {
+                    agg.push(&record);
+                }
+            }
+        }
+    }
+}
+
 /// Runs a campaign under supervision: spawns `campaign worker` children
 /// for every unfinished shard, heals failures by re-leasing from the last
 /// good checkpoint with bounded, deterministically-jittered backoff, and
@@ -199,39 +301,55 @@ pub fn run_supervised(
             failures: Vec::new(),
         })
         .collect();
+    // One supervision flight recorder and one checkpoint tail reader per
+    // supervised shard, plus the shared live-estimator aggregate the tail
+    // readers feed.
+    let mut rings: Vec<obs::FlightRecorder> =
+        states.iter().map(|_| obs::FlightRecorder::new(SUPERVISION_RING_CAPACITY)).collect();
+    let mut tails: Vec<TailReader> = states.iter().map(|_| TailReader::new()).collect();
+    let mut live_agg = Aggregate::new(config.scenario.schema);
 
     let mut now: u64 = 0;
     loop {
         // Lease phase: fill free slots with due shards.
         let mut running = states.iter().filter(|s| matches!(s.lease, Lease::Running(_))).count();
-        for st in states.iter_mut() {
+        for (st, ring) in states.iter_mut().zip(rings.iter_mut()) {
             if running >= workers {
                 break;
             }
             if !matches!(st.lease, Lease::Ready { at_tick } if at_tick <= now) {
                 continue;
             }
-            match lease_shard(config, exe, shards, sup, st, now) {
+            match lease_shard(config, exe, shards, sup, st, now, ring) {
                 Ok(true) => running += 1,
                 Ok(false) => {} // shard turned out complete on disk
-                Err(e) => fail_lease(sup, config.scale.seed, st, now, max_spawns, e),
+                Err(e) => fail_lease(sup, config.scale.seed, st, now, max_spawns, e, ring),
             }
         }
 
         // Reap phase: finished drains and stalled leases. Each running
         // lease is taken out of its slot, settled or re-shelved.
-        for st in states.iter_mut() {
+        for (st, ring) in states.iter_mut().zip(rings.iter_mut()) {
             match std::mem::replace(&mut st.lease, Lease::Done) {
                 Lease::Running(mut r) => {
                     if r.drain.is_finished() {
                         match reap_lease(st.shard, r) {
                             Ok(()) => {
+                                if !st.failures.is_empty() {
+                                    ring.record(
+                                        now,
+                                        st.shard as u32,
+                                        obs::kind::SHARD_HEALED,
+                                        st.spawns as u64,
+                                        0,
+                                    );
+                                }
                                 if config.verbose {
-                                    eprintln!("shard {}: lease complete", st.shard);
+                                    obs::console!("shard {}: lease complete", st.shard);
                                 }
                             }
                             Err(e) => {
-                                fail_lease(sup, config.scale.seed, st, now, max_spawns, e);
+                                fail_lease(sup, config.scale.seed, st, now, max_spawns, e, ring);
                             }
                         }
                         continue;
@@ -252,7 +370,7 @@ pub fn run_supervised(
                         let _ = r.drain.join();
                         let e =
                             CampaignError::WorkerStalled { shard: st.shard, ticks: stalled_ticks };
-                        fail_lease(sup, config.scale.seed, st, now, max_spawns, e);
+                        fail_lease(sup, config.scale.seed, st, now, max_spawns, e, ring);
                     } else {
                         st.lease = Lease::Running(r);
                     }
@@ -260,6 +378,40 @@ pub fn run_supervised(
                 other => st.lease = other,
             }
         }
+
+        // Metrics phase: fold the checkpoints' appended bytes into the
+        // live estimators, then atomically rewrite the metrics sidecar —
+        // one coherent snapshot per supervision tick.
+        for (st, tail) in states.iter().zip(tails.iter_mut()) {
+            tail.scan(
+                &checkpoint::shard_path(&config.dir, st.shard),
+                config.scenario.schema,
+                &mut live_agg,
+            );
+        }
+        let per_shard: Vec<ShardMetric> = states
+            .iter()
+            .zip(&tails)
+            .map(|(st, tail)| ShardMetric {
+                shard: st.shard,
+                planned: st.range.end - st.range.start,
+                records: tail.records,
+                attempts: st.spawns,
+                state: st.lease_state(),
+            })
+            .collect();
+        let complete = per_shard.iter().all(|s| s.records >= s.planned && s.state != "quarantined");
+        Metrics {
+            scenario: config.scenario.name,
+            scale_label: config.scale_label.clone(),
+            master_seed: config.scale.seed,
+            tick: Some(now),
+            workers: Some(workers),
+            complete,
+            per_shard,
+            estimators: metrics::estimators_from(&live_agg),
+        }
+        .write(&config.dir)?;
 
         if states.iter().all(|s| matches!(s.lease, Lease::Done | Lease::Quarantined)) {
             break;
@@ -284,6 +436,20 @@ pub fn run_supervised(
         checkpoint::recover(&checkpoint::shard_path(&config.dir, q.shard), config.scenario.schema)?;
     }
 
+    // Post-mortem channel: dump every supervised shard's supervision ring
+    // (lease grants, failures, quarantines) as `shard-K.trace`. Ticks are
+    // wall-paced, so consumers compare the *payload* digest in the header,
+    // which is tick-independent.
+    if let Some(trace_dir) = &sup.trace_dir {
+        std::fs::create_dir_all(trace_dir)
+            .map_err(|e| CampaignError::io(format!("create {}", trace_dir.display()), e))?;
+        for (st, ring) in states.iter().zip(&rings) {
+            let path = trace_dir.join(format!("shard-{}.trace", st.shard));
+            std::fs::write(&path, ring.render_text())
+                .map_err(|e| CampaignError::io(format!("write {}", path.display()), e))?;
+        }
+    }
+
     let summary = summary::merge_with_quarantine(
         config.scenario,
         &config.scale_label,
@@ -292,6 +458,9 @@ pub fn run_supervised(
         &ranges,
         &quarantined,
     )?;
+    // Replace the last live snapshot with the normalized final one (pure
+    // function of the merged summary — deterministic across reruns).
+    Metrics::final_snapshot(&summary).write(&config.dir)?;
     let reports = states
         .iter()
         .map(|s| ShardReport {
@@ -316,6 +485,7 @@ fn lease_shard(
     sup: &SupervisorConfig,
     st: &mut ShardState,
     now: u64,
+    ring: &mut obs::FlightRecorder,
 ) -> Result<bool, CampaignError> {
     let planned = st.range.end - st.range.start;
     let path = checkpoint::shard_path(&config.dir, st.shard);
@@ -345,8 +515,9 @@ fn lease_shard(
         std::thread::spawn(move || exec::drain_stream(stdout, k, expected, verbose, Some(schema)));
     let last_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     st.spawns += 1;
+    ring.record(now, st.shard as u32, obs::kind::LEASE_GRANTED, st.spawns as u64, done as u64);
     if verbose {
-        eprintln!(
+        obs::console!(
             "shard {}: leased (attempt {}, resuming at {done}/{planned}{})",
             st.shard,
             st.spawns,
@@ -407,9 +578,12 @@ fn fail_lease(
     now: u64,
     max_spawns: usize,
     err: CampaignError,
+    ring: &mut obs::FlightRecorder,
 ) {
+    ring.record(now, st.shard as u32, failure_kind(&err), st.spawns as u64, 0);
     st.failures.push(err.to_string());
     if st.spawns >= max_spawns {
+        ring.record(now, st.shard as u32, obs::kind::SHARD_QUARANTINED, st.spawns as u64, 0);
         st.lease = Lease::Quarantined;
     } else {
         let attempt = st.spawns.max(1) as u64; // 1-based retry number

@@ -154,6 +154,51 @@ fn exhausted_retries_quarantine_into_an_accurate_partial_summary() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// `--trace-dir` dumps each shard's supervision flight-recorder ring:
+/// the quarantined shard's trace must contain the injected fault's event
+/// chain (lease → crash ×3 → quarantine) while healthy bystanders show
+/// a single undisturbed lease.
+#[test]
+fn trace_dump_records_the_fault_chain_of_a_quarantined_shard() {
+    let mut faults = FaultPlan::none();
+    faults.push_cli("1:crash-after=0:x3").expect("valid fault entry");
+    let dir = tmp_dir("tracedump");
+    let trace_dir = dir.join("traces");
+    let cfg = config(dir.clone());
+    let sup_cfg = SupervisorConfig { trace_dir: Some(trace_dir.clone()), ..sup(2, faults) };
+    let run = run_supervised(&cfg, &campaign_exe(), &sup_cfg).expect("quarantine run settles");
+    assert!(!run.summary.complete);
+
+    let faulted =
+        std::fs::read_to_string(trace_dir.join("shard-1.trace")).expect("faulted shard trace");
+    assert!(faulted.contains("# flight recorder:"), "dump has the ring header:\n{faulted}");
+    assert_eq!(
+        faulted.matches("kind=lease-granted").count(),
+        3,
+        "one lease per attempt:\n{faulted}"
+    );
+    assert_eq!(
+        faulted.matches("kind=worker-crash").count(),
+        3,
+        "each injected crash is recorded:\n{faulted}"
+    );
+    assert!(faulted.contains("kind=shard-quarantined"), "quarantine is recorded:\n{faulted}");
+    assert!(!faulted.contains("kind=shard-healed"), "a quarantined shard never heals");
+    for k in [0usize, 2] {
+        let trace = std::fs::read_to_string(trace_dir.join(format!("shard-{k}.trace")))
+            .expect("bystander shard trace");
+        assert_eq!(
+            trace.matches("kind=lease-granted").count(),
+            1,
+            "bystander shard {k} leased exactly once:\n{trace}"
+        );
+        for bad in ["worker-crash", "worker-stall", "stream-corrupt", "shard-quarantined"] {
+            assert!(!trace.contains(bad), "bystander shard {k} saw {bad}:\n{trace}");
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
 /// A quarantined shard's directory remains resumable: a later supervised
 /// run without the fault re-leases just the quarantined shard and
 /// completes the campaign with the reference digest.

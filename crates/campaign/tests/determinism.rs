@@ -178,6 +178,82 @@ fn mismatched_checkpoint_directory_is_rejected() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// The final `metrics.json` snapshot is normalized: built purely from
+/// the merged summary, so its bytes must be identical for any worker
+/// count and for in-process vs. subprocess execution.
+#[test]
+fn final_metrics_snapshot_is_identical_across_workers_and_modes() {
+    let scenario = registry::find("chronos_bound").expect("registered");
+    let scale = Scale::quick();
+    let mut runs: Vec<(String, String)> = Vec::new();
+    let mut cases: Vec<(usize, ExecMode, String)> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        cases.push((workers, ExecMode::InProcess, format!("metrics-in-{workers}")));
+    }
+    cases.push((2, ExecMode::Subprocess { exe: campaign_exe() }, "metrics-sub-2".into()));
+    for (workers, mode, tag) in cases {
+        let dir = tmp_dir(&tag);
+        let config = CampaignConfig {
+            scenario,
+            scale,
+            scale_label: "quick".into(),
+            shards: 2,
+            workers,
+            mode,
+            dir: dir.clone(),
+            verbose: false,
+        };
+        run_campaign(&config).expect("campaign runs");
+        let json =
+            std::fs::read_to_string(campaign::metrics::metrics_path(&dir)).expect("metrics.json");
+        std::fs::remove_dir_all(dir).ok();
+        runs.push((tag, json));
+    }
+    let (baseline_tag, baseline) = &runs[0];
+    bench::json::validate(baseline).expect("metrics.json must be well-formed");
+    assert!(baseline.contains("\"final\": true"), "final snapshot must say so:\n{baseline}");
+    assert!(baseline.contains("\"tick\": null"), "final snapshot carries no tick:\n{baseline}");
+    for (tag, json) in &runs[1..] {
+        assert_eq!(json, baseline, "{tag} metrics.json diverged from {baseline_tag}");
+    }
+}
+
+/// The table2 summary carries the per-trial explain section (drop-reason
+/// taxonomy), and the whole summary.json — explain included — is
+/// bit-identical between in-process and subprocess runs.
+#[test]
+fn table2_explain_section_is_identical_across_modes() {
+    let scenario = registry::find("table2").expect("registered");
+    let scale = Scale::quick();
+    let mut jsons = Vec::new();
+    for (mode, tag) in [
+        (ExecMode::InProcess, "explain-in"),
+        (ExecMode::Subprocess { exe: campaign_exe() }, "explain-sub"),
+    ] {
+        let dir = tmp_dir(tag);
+        let config = CampaignConfig {
+            scenario,
+            scale,
+            scale_label: "quick".into(),
+            shards: 2,
+            workers: 2,
+            mode,
+            dir: dir.clone(),
+            verbose: false,
+        };
+        run_campaign(&config).expect("campaign runs");
+        let json = std::fs::read_to_string(checkpoint::summary_path(&dir)).expect("summary.json");
+        std::fs::remove_dir_all(dir).ok();
+        jsons.push(json);
+    }
+    let baseline = &jsons[0];
+    bench::json::validate(baseline).expect("summary.json must be well-formed");
+    assert!(baseline.contains("\"explain\":"), "summary carries an explain section");
+    assert!(baseline.contains("explain_fail_stage"), "explain aggregates the failure stage");
+    assert!(baseline.contains("explain_total_drops"), "explain aggregates the drop counts");
+    assert_eq!(jsons[1], *baseline, "explain section diverged between exec modes");
+}
+
 /// The summary JSON artifact is well-formed (the same validator CI uses
 /// for the BENCH artifacts) and carries the digest.
 #[test]

@@ -269,6 +269,33 @@ pub struct AttackOutcome {
     pub duration_secs: Option<f64>,
     /// Total packets the simulation put on the wire.
     pub packets_sent: u64,
+    /// Receive-path drops attributable to the fragment/reassembly
+    /// machinery (cap-full, duplicates, expiries, filtering), summed over
+    /// every host in the simulation ([`SimStats::drops`]).
+    pub frag_drops: u64,
+    /// Receive-path drops caught by UDP verification — the checksum/length
+    /// defence a forgery without a fix-up dies on.
+    pub verify_drops: u64,
+    /// All taxonomy-counted drops.
+    pub total_drops: u64,
+}
+
+impl AttackOutcome {
+    /// Compact explanation of where a failed trial died, derived from the
+    /// drop taxonomy: `"none"` for successes, otherwise the dominant drop
+    /// category (`"verify"` / `"frag"`), or `"timing"` when nothing was
+    /// dropped and the attack simply did not land in its window.
+    pub fn fail_stage(&self) -> &'static str {
+        if self.success {
+            "none"
+        } else if self.verify_drops > self.frag_drops {
+            "verify"
+        } else if self.frag_drops > 0 {
+            "frag"
+        } else {
+            "timing"
+        }
+    }
 }
 
 /// Runs the full boot-time attack (§IV-A) against a client of `kind`:
@@ -286,13 +313,24 @@ pub fn run_boot_time_attack(config: ScenarioConfig, kind: ClientKind) -> AttackO
     scenario.sim.run_for(SimDuration::from_mins(10));
     let victim = scenario.victim().expect("victim exists");
     let observed = victim.offset_secs(scenario.sim.now());
+    let duration_secs =
+        victim.first_large_step().map(|(t, _)| t.saturating_since(boot_at).as_secs_f64());
+    let success = poisoned_at.is_some() && (observed - target_shift).abs() < 1.0;
+    if poisoned_at.is_some() {
+        scenario.sim.note_trace(obs::kind::CACHE_POISONED, 1, 0);
+    }
+    if success {
+        scenario.sim.note_trace(obs::kind::NTP_SHIFTED, observed.abs().round() as u64, 1);
+    }
+    let stats = scenario.sim.stats();
     AttackOutcome {
-        success: poisoned_at.is_some() && (observed - target_shift).abs() < 1.0,
+        success,
         observed_shift: observed,
-        duration_secs: victim
-            .first_large_step()
-            .map(|(t, _)| t.saturating_since(boot_at).as_secs_f64()),
-        packets_sent: scenario.sim.stats().packets_sent,
+        duration_secs,
+        packets_sent: stats.packets_sent,
+        frag_drops: stats.drops.frag_drops(),
+        verify_drops: stats.drops.verify_drops(),
+        total_drops: stats.drops.total(),
     }
 }
 
@@ -324,11 +362,19 @@ pub fn run_runtime_attack(
         .first_large_step()
         .filter(|(t, _)| *t > attack_start)
         .map(|(t, _)| t.saturating_since(attack_start).as_secs_f64());
+    let success = stepped_at.is_some() && (observed - target_shift).abs() < 1.0;
+    if success {
+        scenario.sim.note_trace(obs::kind::NTP_SHIFTED, observed.abs().round() as u64, 0);
+    }
+    let stats = scenario.sim.stats();
     AttackOutcome {
-        success: stepped_at.is_some() && (observed - target_shift).abs() < 1.0,
+        success,
         observed_shift: observed,
         duration_secs: duration,
-        packets_sent: scenario.sim.stats().packets_sent,
+        packets_sent: stats.packets_sent,
+        frag_drops: stats.drops.frag_drops(),
+        verify_drops: stats.drops.verify_drops(),
+        total_drops: stats.drops.total(),
     }
 }
 

@@ -148,6 +148,26 @@ impl Default for DefragConfig {
     }
 }
 
+/// Outcome of one [`DefragCache::insert_explained`] call.
+///
+/// Names what the cache did with the inserted packet so the receive path
+/// can count its drops ([`crate::drop::DropReason`]) instead of collapsing
+/// "stored, waiting for more" and "silently discarded" into one `None`.
+#[derive(Debug)]
+pub enum FragInsert {
+    /// Not a fragment: the packet passed straight through untouched.
+    Passthrough(Ipv4Packet),
+    /// The fragment completed its datagram; here is the reassembly.
+    Reassembled(Ipv4Packet),
+    /// The fragment was stored; the reassembly is still incomplete.
+    Stored,
+    /// Dropped: the per-(src, dst) pending cap is full.
+    CapFull,
+    /// Dropped: an already-covered byte range under
+    /// [`DuplicatePolicy::FirstWins`].
+    Duplicate,
+}
+
 #[derive(Debug)]
 struct StoredFrag {
     offset: usize,
@@ -238,10 +258,25 @@ impl DefragCache {
     /// Takes the packet by value: non-fragments pass straight through
     /// (zero-copy, zero-clone) and fragments move their payload into the
     /// cache. Expired entries are garbage collected lazily on every insert.
+    ///
+    /// Convenience wrapper over [`DefragCache::insert_explained`], which
+    /// additionally names why a fragment did *not* come out (stored vs
+    /// cap-dropped vs duplicate) and how many entries expired.
     pub fn insert(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<Ipv4Packet> {
-        self.expire(now);
+        match self.insert_explained(now, pkt).0 {
+            FragInsert::Passthrough(p) | FragInsert::Reassembled(p) => Some(p),
+            FragInsert::Stored | FragInsert::CapFull | FragInsert::Duplicate => None,
+        }
+    }
+
+    /// [`DefragCache::insert`] with an explained outcome: what happened to
+    /// the inserted packet, plus how many pending reassemblies expired
+    /// during the lazy garbage collection this insert ran first (their
+    /// stored fragments are gone — the drop-taxonomy caller counts them).
+    pub fn insert_explained(&mut self, now: SimTime, pkt: Ipv4Packet) -> (FragInsert, usize) {
+        let expired = self.expire_counted(now);
         if !pkt.is_fragment() {
-            return Some(pkt);
+            return (FragInsert::Passthrough(pkt), expired);
         }
         let key = FragKey::of(&pkt);
         let pair = (pkt.src, pkt.dst);
@@ -249,7 +284,7 @@ impl DefragCache {
         if *pending >= self.config.max_pending_per_pair {
             // Cache full for this pair: the fragment is dropped, exactly the
             // limit the paper cites (64 on Linux / 100 on Windows).
-            return None;
+            return (FragInsert::CapFull, expired);
         }
         let expiry = &mut self.expiry;
         let entry = self.entries.entry(key).or_insert_with(|| {
@@ -265,24 +300,32 @@ impl DefragCache {
             more: pkt.more_fragments,
             data: pkt.payload,
         };
+        let mut duplicate = false;
         match entry.fragments.iter_mut().find(|f| f.offset == new_frag.offset) {
             Some(existing) => {
                 if self.config.duplicate_policy == DuplicatePolicy::LastWins {
                     *existing = new_frag;
+                } else {
+                    // FirstWins: planted fragment survives; the duplicate is
+                    // discarded without counting against the pair cap. The
+                    // entry is unchanged, so it cannot have become complete
+                    // (a complete entry would have been removed already).
+                    duplicate = true;
                 }
-                // FirstWins: planted fragment survives; the duplicate is
-                // discarded without counting against the pair cap.
             }
             None => {
                 entry.fragments.push(new_frag);
                 *pending += 1;
             }
         }
+        if duplicate {
+            return (FragInsert::Duplicate, expired);
+        }
         if let Some(payload) = try_reassemble(&entry.fragments, &mut self.order) {
             let n = entry.fragments.len();
             self.entries.remove(&key);
             Self::debit(&mut self.pending, pair, n);
-            return Some(Ipv4Packet {
+            let reassembled = Ipv4Packet {
                 more_fragments: false,
                 frag_offset: 0,
                 payload,
@@ -292,18 +335,26 @@ impl DefragCache {
                 protocol: key.protocol,
                 ttl,
                 dont_fragment: false,
-            });
+            };
+            return (FragInsert::Reassembled(reassembled), expired);
         }
-        None
+        (FragInsert::Stored, expired)
     }
 
     /// Drops reassemblies older than the configured timeout.
+    pub fn expire(&mut self, now: SimTime) {
+        let _ = self.expire_counted(now);
+    }
+
+    /// [`DefragCache::expire`], returning how many reassembly entries were
+    /// dropped (each with all its stored fragments).
     ///
     /// O(expired) per call: the expiry ring is ordered by creation time, so
     /// this pops expired entries off the front and never scans the live
     /// remainder of the table.
-    pub fn expire(&mut self, now: SimTime) {
+    pub fn expire_counted(&mut self, now: SimTime) -> usize {
         let timeout = self.config.timeout;
+        let mut dropped = 0;
         while let Some(&(created, key)) = self.expiry.front() {
             if now.saturating_since(created) < timeout {
                 break;
@@ -315,8 +366,10 @@ impl DefragCache {
             if live {
                 let entry = self.entries.remove(&key).expect("checked above");
                 Self::debit(&mut self.pending, (key.src, key.dst), entry.fragments.len());
+                dropped += 1;
             }
         }
+        dropped
     }
 
     fn debit(

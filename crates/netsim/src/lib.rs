@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod checksum;
+pub mod drop;
 pub mod error;
 pub mod fasthash;
 pub mod frag;
@@ -64,15 +65,18 @@ pub mod wheel;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
+    pub use crate::drop::{DropCounts, DropReason};
     pub use crate::error::{FragmentError, SimError, WireError};
-    pub use crate::frag::{fragment, DefragCache, DefragConfig, DuplicatePolicy, FragKey};
+    pub use crate::frag::{
+        fragment, DefragCache, DefragConfig, DuplicatePolicy, FragInsert, FragKey,
+    };
     pub use crate::icmp::IcmpMessage;
     pub use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, MIN_IPV4_MTU, PROTO_ICMP, PROTO_UDP};
     pub use crate::link::{LinkSpec, Topology};
     pub use crate::os::{IpidMode, OsProfile, PmtudPolicy, DEFAULT_IPID_CACHE_CAP};
     pub use crate::sim::{
-        hot_struct_sizes, Ctx, Datagram, Host, HostId, NetStack, SimStats, Simulator, StackOutput,
-        TimerToken,
+        hot_struct_sizes, Ctx, Datagram, Host, HostId, NetStack, ReceiveOutcome, SimStats,
+        Simulator, StackOutput, TimerToken,
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::udp::{UdpDatagram, UDP_HEADER_LEN};

@@ -63,9 +63,10 @@ use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 
-use crate::error::SimError;
+use crate::drop::{DropCounts, DropReason};
+use crate::error::{SimError, WireError};
 use crate::fasthash::FastMap;
-use crate::frag::{fragment_into, DefragCache};
+use crate::frag::{fragment_into, DefragCache, FragInsert};
 use crate::icmp::IcmpMessage;
 use crate::ipv4::{Ipv4Packet, IPV4_HEADER_LEN, PROTO_ICMP, PROTO_UDP};
 use crate::link::Topology;
@@ -209,6 +210,8 @@ struct StackCold {
     ipid_lru: VecDeque<(u64, Ipv4Addr)>,
     ipid_tick: u64,
     ipid_evictions: u64,
+    /// Per-host drop taxonomy: every discarded packet names its reason.
+    drops: DropCounts,
 }
 
 // The slab is the SoA hot lane: a slot must stay within one cache-line
@@ -230,6 +233,35 @@ pub enum StackOutput {
         /// The decoded message.
         msg: IcmpMessage,
     },
+}
+
+/// Explained outcome of [`NetStack::receive_counted`]: what became of an
+/// arriving packet, with every discard naming its [`DropReason`].
+#[derive(Debug)]
+pub enum ReceiveOutcome {
+    /// The packet produced something for the host.
+    Delivered {
+        /// What to hand up.
+        output: StackOutput,
+        /// Whether delivery completed a reassembly (vs an unfragmented
+        /// passthrough) — the [`obs::kind::FRAG_REASSEMBLED`] trace signal.
+        reassembled: bool,
+    },
+    /// A fragment was stored; its datagram is still incomplete.
+    Pending,
+    /// The packet was discarded; the reason was counted per host and in
+    /// the caller-supplied global [`DropCounts`].
+    Dropped(DropReason),
+}
+
+/// Maps a UDP decode failure onto the verification slice of the taxonomy.
+fn verify_drop_reason(err: &WireError) -> DropReason {
+    match err {
+        WireError::Truncated { .. } => DropReason::UdpTruncated,
+        WireError::LengthMismatch { .. } => DropReason::UdpLengthMismatch,
+        WireError::BadChecksum { .. } => DropReason::UdpBadChecksum,
+        _ => DropReason::UdpTruncated,
+    }
 }
 
 impl NetStack {
@@ -269,6 +301,7 @@ impl NetStack {
                 ipid_lru: VecDeque::new(),
                 ipid_tick: 0,
                 ipid_evictions: 0,
+                drops: DropCounts::default(),
                 profile,
             }),
         }
@@ -431,22 +464,55 @@ impl NetStack {
     /// zero-clone delivery path), storing fragments and slicing payloads
     /// out of the packet's shared buffer instead of copying.
     pub fn receive(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<StackOutput> {
+        let mut scratch = DropCounts::default();
+        match self.receive_counted(now, pkt, &mut scratch) {
+            ReceiveOutcome::Delivered { output, .. } => Some(output),
+            ReceiveOutcome::Pending | ReceiveOutcome::Dropped(_) => None,
+        }
+    }
+
+    /// [`NetStack::receive`] with the explained outcome: every discarded
+    /// packet names a [`DropReason`], counted both in this host's
+    /// [`NetStack::drop_counts`] and in the caller's `global` aggregate
+    /// (the simulator passes [`SimStats::drops`], keeping the aggregate
+    /// incremental — no per-snapshot re-summing).
+    pub fn receive_counted(
+        &mut self,
+        now: SimTime,
+        pkt: Ipv4Packet,
+        global: &mut DropCounts,
+    ) -> ReceiveOutcome {
+        let mut reassembled = false;
         let complete = if pkt.is_fragment() {
             if !self.hot.accept_fragments {
-                return None;
+                return self.count_drop(global, DropReason::NoFragSupport);
             }
             // Size filtering applies to non-final fragments: a datagram's
             // last fragment is legitimately small, but a small *leading*
             // fragment is the signature of the tiny-fragment attacks that
             // filtering resolvers (Table V) drop.
             if pkt.more_fragments && pkt.wire_len() < usize::from(self.hot.min_fragment_size) {
-                return None;
+                return self.count_drop(global, DropReason::TinyFragment);
             }
-            self.defrag_insert(now, pkt)?
+            match self.defrag_insert(now, pkt, global) {
+                FragInsert::Passthrough(p) => p,
+                FragInsert::Reassembled(p) => {
+                    reassembled = true;
+                    p
+                }
+                FragInsert::Stored => return ReceiveOutcome::Pending,
+                FragInsert::CapFull => return self.count_drop(global, DropReason::DefragCapFull),
+                FragInsert::Duplicate => {
+                    return self.count_drop(global, DropReason::DuplicateFragment)
+                }
+            }
         } else if self.hot.frag_pending {
             // Pending reassemblies: route through the cache so expiry runs
-            // and the flag refreshes.
-            self.defrag_insert(now, pkt)?
+            // and the flag refreshes. Non-fragments always pass through.
+            match self.defrag_insert(now, pkt, global) {
+                FragInsert::Passthrough(p) => p,
+                _ => unreachable!("non-fragments pass through the defrag cache"),
+            }
         } else {
             // Fast path for the common case: an unfragmented packet with an
             // idle defrag cache passes straight through. Nothing can be
@@ -457,33 +523,66 @@ impl NetStack {
         };
         match complete.protocol {
             PROTO_UDP => {
-                let dgram =
-                    UdpDatagram::decode_bytes(&complete.payload, complete.src, complete.dst)
-                        .ok()?;
-                Some(StackOutput::Udp(Datagram {
-                    src: complete.src,
-                    dst: complete.dst,
-                    src_port: dgram.src_port,
-                    dst_port: dgram.dst_port,
-                    payload: dgram.payload,
-                }))
-            }
-            PROTO_ICMP => {
-                let msg = IcmpMessage::decode(&complete.payload).ok()?;
-                if let IcmpMessage::FragmentationNeeded { mtu, original } = &msg {
-                    self.apply_frag_needed(now, complete.dst, *mtu, original);
+                match UdpDatagram::decode_bytes(&complete.payload, complete.src, complete.dst) {
+                    Ok(dgram) => ReceiveOutcome::Delivered {
+                        output: StackOutput::Udp(Datagram {
+                            src: complete.src,
+                            dst: complete.dst,
+                            src_port: dgram.src_port,
+                            dst_port: dgram.dst_port,
+                            payload: dgram.payload,
+                        }),
+                        reassembled,
+                    },
+                    Err(err) => self.count_drop(global, verify_drop_reason(&err)),
                 }
-                Some(StackOutput::Icmp { from: complete.src, msg })
             }
-            _ => None,
+            PROTO_ICMP => match IcmpMessage::decode(&complete.payload) {
+                Ok(msg) => {
+                    if let IcmpMessage::FragmentationNeeded { mtu, original } = &msg {
+                        self.apply_frag_needed(now, complete.dst, *mtu, original);
+                    }
+                    ReceiveOutcome::Delivered {
+                        output: StackOutput::Icmp { from: complete.src, msg },
+                        reassembled,
+                    }
+                }
+                Err(_) => self.count_drop(global, DropReason::IcmpMalformed),
+            },
+            _ => self.count_drop(global, DropReason::UnknownProtocol),
         }
     }
 
+    /// This host's drop taxonomy so far.
+    pub fn drop_counts(&self) -> &DropCounts {
+        &self.cold.drops
+    }
+
+    /// Counts a drop per host and in the caller's aggregate.
+    #[inline]
+    fn count_drop(&mut self, global: &mut DropCounts, reason: DropReason) -> ReceiveOutcome {
+        self.cold.drops.bump(reason);
+        global.bump(reason);
+        ReceiveOutcome::Dropped(reason)
+    }
+
     /// Routes a packet through the defrag cache and refreshes the hot-side
-    /// pending flag from the cache's state afterwards.
-    fn defrag_insert(&mut self, now: SimTime, pkt: Ipv4Packet) -> Option<Ipv4Packet> {
-        let out = self.cold.defrag.insert(now, pkt);
+    /// pending flag from the cache's state afterwards. Reassembly entries
+    /// expired by the cache's lazy garbage collection are counted as
+    /// [`DropReason::DefragExpired`] here — the one drop that happens
+    /// without an arriving packet of its own.
+    fn defrag_insert(
+        &mut self,
+        now: SimTime,
+        pkt: Ipv4Packet,
+        global: &mut DropCounts,
+    ) -> FragInsert {
+        let (out, expired) = self.cold.defrag.insert_explained(now, pkt);
         self.hot.frag_pending = self.cold.defrag.pending_reassemblies() > 0;
+        if expired > 0 {
+            self.cold.drops.add(DropReason::DefragExpired, expired as u64);
+            global.add(DropReason::DefragExpired, expired as u64);
+        }
         out
     }
 
@@ -708,6 +807,11 @@ pub struct SimStats {
     pub datagrams_delivered: u64,
     /// Datagrams dropped for failing the UDP checksum or filters.
     pub datagrams_dropped: u64,
+    /// Exhaustive per-reason drop taxonomy, aggregated incrementally over
+    /// all host stacks (each host also keeps its own copy, see
+    /// [`NetStack::drop_counts`]). No receive-path branch discards a packet
+    /// without naming a reason here.
+    pub drops: DropCounts,
     /// Timer firings.
     pub timers_fired: u64,
     /// Events dispatched by the loop (arrivals + timers + starts).
@@ -826,6 +930,11 @@ pub struct Simulator {
     /// address table is insert-only — a resolved id never goes stale.
     route_cache: Vec<(Ipv4Addr, HostId)>,
     max_events: u64,
+    /// The flight recorder, compiled in only under the `trace` feature:
+    /// the default build carries no ring and no stores (perfgate holds the
+    /// untraced engine to its baseline).
+    #[cfg(feature = "trace")]
+    recorder: obs::FlightRecorder,
 }
 
 impl Simulator {
@@ -860,6 +969,10 @@ impl Simulator {
             // simlint: allow(hot-alloc) — cold constructor: empty.
             route_cache: Vec::new(),
             max_events: u64::MAX,
+            // simlint: allow(hot-alloc) — cold constructor: the ring is
+            // allocated once here so recording never allocates.
+            #[cfg(feature = "trace")]
+            recorder: obs::FlightRecorder::new(obs::DEFAULT_CAPACITY),
         }
     }
 
@@ -873,19 +986,51 @@ impl Simulator {
         self.now
     }
 
-    /// Aggregate counters. IPID evictions are summed over the host stacks
-    /// at call time; the buffer-pool counters are read from the
+    /// Aggregate counters. IPID evictions and the drop taxonomy are
+    /// aggregated incrementally at their source sites, so a snapshot is
+    /// O(1) in the host count; the buffer-pool counters are read from the
     /// thread-local `bytes` pool, which [`Simulator::new`] reset — they
     /// cover allocations made on this thread since this simulator was
     /// built (valid for the most recently constructed simulator on the
     /// thread, i.e. every sweep and test in this workspace).
     pub fn stats(&self) -> SimStats {
         let mut stats = self.stats;
-        stats.ipid_evictions = self.slots.iter().map(|s| s.stack.ipid_evictions()).sum();
         let pool = bytes::pool::stats();
         stats.pool_hits = pool.freelist_hits + pool.inline_hits;
         stats.pool_misses = pool.misses;
         stats
+    }
+
+    /// Records a trace event stamped with the current simulated time.
+    /// Compiles to nothing without the `trace` feature.
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace(&mut self, host: u32, kind: u16, a: u64, b: u64) {
+        self.recorder.record(self.now.as_nanos(), host, kind, a, b);
+    }
+
+    /// Application-layer trace note (e.g. [`obs::kind::CACHE_POISONED`],
+    /// [`obs::kind::NTP_SHIFTED`] from the scenario layer): always
+    /// callable, recorded only when the `trace` feature is compiled in.
+    /// Stamped with the current simulated time and no host context.
+    pub fn note_trace(&mut self, kind: u16, a: u64, b: u64) {
+        #[cfg(feature = "trace")]
+        self.trace(obs::TraceEvent::NO_HOST, kind, a, b);
+        #[cfg(not(feature = "trace"))]
+        let _ = (kind, a, b);
+    }
+
+    /// The flight recorder (`trace` builds only).
+    #[cfg(feature = "trace")]
+    pub fn recorder(&self) -> &obs::FlightRecorder {
+        &self.recorder
+    }
+
+    /// FNV digest of the recorded trace stream (`trace` builds only):
+    /// deterministic simulations pin this bit for bit.
+    #[cfg(feature = "trace")]
+    pub fn trace_digest(&self) -> u64 {
+        self.recorder.digest()
     }
 
     /// Caps how many events any run method may dispatch over the whole
@@ -1118,19 +1263,64 @@ impl Simulator {
                 // The stack takes ownership of the packet from here
                 // (move-delivery: no clone between wire and host).
                 let non_final = pkt.is_fragment() && pkt.more_fragments;
-                let output = {
+                #[cfg(feature = "trace")]
+                let frag_info =
+                    pkt.is_fragment().then(|| (u64::from(pkt.id), u64::from(pkt.frag_offset)));
+                #[cfg(feature = "trace")]
+                let expired_before = self.stats.drops.defrag_expired;
+                let outcome = {
                     let slot = &mut self.slots[id.index()];
-                    slot.stack.receive(self.now, pkt)
+                    slot.stack.receive_counted(self.now, pkt, &mut self.stats.drops)
                 };
-                match output {
-                    Some(StackOutput::Udp(dgram)) => {
+                #[cfg(feature = "trace")]
+                {
+                    if let Some((ipid, offset)) = frag_info {
+                        self.trace(id.0, obs::kind::FRAG_RX, ipid, offset);
+                    }
+                    let expired = self.stats.drops.defrag_expired - expired_before;
+                    if expired > 0 {
+                        self.trace(id.0, obs::kind::FRAG_EXPIRED, expired, 0);
+                    }
+                    match &outcome {
+                        ReceiveOutcome::Delivered { output, reassembled } => {
+                            if *reassembled {
+                                let len = match output {
+                                    StackOutput::Udp(d) => d.payload.len() as u64,
+                                    StackOutput::Icmp { .. } => 0,
+                                };
+                                let ipid = frag_info.map_or(0, |(ipid, _)| ipid);
+                                self.trace(id.0, obs::kind::FRAG_REASSEMBLED, ipid, len);
+                            }
+                            if let StackOutput::Udp(d) = output {
+                                let port = u64::from(d.dst_port);
+                                self.trace(id.0, obs::kind::UDP_VERIFY_OK, port, 0);
+                            }
+                        }
+                        ReceiveOutcome::Dropped(reason) => {
+                            let kind = if reason.is_verify() {
+                                obs::kind::UDP_VERIFY_FAIL
+                            } else {
+                                obs::kind::DROP
+                            };
+                            self.trace(id.0, kind, u64::from(reason.code()), 0);
+                        }
+                        ReceiveOutcome::Pending => {}
+                    }
+                }
+                match outcome {
+                    ReceiveOutcome::Delivered { output: StackOutput::Udp(dgram), .. } => {
                         self.stats.datagrams_delivered += 1;
                         self.call_host(id, HostInput::Datagram(dgram));
                     }
-                    Some(StackOutput::Icmp { from, msg }) => {
+                    ReceiveOutcome::Delivered {
+                        output: StackOutput::Icmp { from, msg }, ..
+                    } => {
                         self.call_host(id, HostInput::Icmp(from, msg));
                     }
-                    None => {
+                    ReceiveOutcome::Pending | ReceiveOutcome::Dropped(_) => {
+                        // A fragment that parked in the cache awaiting its
+                        // siblings is not a lost datagram; anything else
+                        // that produced no output is.
                         if !non_final {
                             self.stats.datagrams_dropped += 1;
                         }
@@ -1175,7 +1365,12 @@ impl Simulator {
                 Action::SendUdp { dst, dgram } => {
                     let mut pkts = std::mem::take(&mut self.pkt_scratch);
                     {
+                        // IPID assignment (inside `send_udp_into`) may evict
+                        // a per-destination counter; fold the delta into the
+                        // aggregate here so stats snapshots never re-sum the
+                        // slab (O(1) in the host count).
                         let slot = &mut self.slots[origin.index()];
+                        let evictions_before = slot.stack.ipid_evictions();
                         slot.stack.send_udp_into(
                             self.now,
                             origin_addr,
@@ -1184,6 +1379,7 @@ impl Simulator {
                             &mut self.rng,
                             &mut pkts,
                         );
+                        self.stats.ipid_evictions += slot.stack.ipid_evictions() - evictions_before;
                     }
                     // The datagram (and its payload reference) drops here;
                     // the box goes back to the pool for the next send.
@@ -1196,7 +1392,10 @@ impl Simulator {
                 Action::SendIcmp { dst, msg } => {
                     let id = {
                         let slot = &mut self.slots[origin.index()];
-                        slot.stack.next_ipid(dst, &mut self.rng)
+                        let evictions_before = slot.stack.ipid_evictions();
+                        let id = slot.stack.next_ipid(dst, &mut self.rng);
+                        self.stats.ipid_evictions += slot.stack.ipid_evictions() - evictions_before;
+                        id
                     };
                     let pkt = Ipv4Packet::icmp(origin_addr, dst, id, msg.encode());
                     self.transmit(origin, origin_addr, pkt);

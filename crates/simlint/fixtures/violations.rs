@@ -23,6 +23,10 @@ fn undocumented(p: *mut u8) {
     unsafe { p.write(0) } // R1: safety (no SAFETY comment anywhere near)
 }
 
+fn chatty() {
+    eprintln!("debug: {}", 1); // R7: console (library code must use obs::console!)
+}
+
 fn bad_suppression() -> HashMap<u32, u32> {
     HashMap::new() // simlint: allow(std-hash)
     // ^ allow-syntax: an allow without a reason is itself an error and

@@ -55,10 +55,25 @@ pub const HOT_STRUCTS: &[(&str, &[(&str, u64)])] = &[
     ("vendor/bytes", &[("Bytes", 24)]),
 ];
 
+/// Path prefixes where raw console macros (R7) are legitimate library
+/// code: `crates/bench/` *is* console output (artifact banners),
+/// `crates/obs/` defines the sanctioned `console!` funnel itself.
+/// Binaries (`main.rs`, `src/bin/`, `examples/`) are exempted by shape
+/// in [`console_allowed`] — a CLI's job is to print.
+pub const CONSOLE_ALLOW: &[&str] = &["crates/bench/", "crates/obs/"];
+
 /// Every rule simlint knows, by id. `allow(...)` comments naming
 /// anything else are themselves an error.
-pub const RULES: &[&str] =
-    &["safety", "std-hash", "wall-clock", "ambient-rng", "hot-alloc", "enum-size", "allow-syntax"];
+pub const RULES: &[&str] = &[
+    "safety",
+    "std-hash",
+    "wall-clock",
+    "ambient-rng",
+    "hot-alloc",
+    "enum-size",
+    "console",
+    "allow-syntax",
+];
 
 /// True when `path` (root-relative, `/`-separated) is test code by
 /// location alone.
@@ -69,6 +84,17 @@ pub fn is_test_path(path: &str) -> bool {
 /// True when `path` may read the wall clock.
 pub fn wall_clock_allowed(path: &str) -> bool {
     WALL_CLOCK_ALLOW.iter().any(|p| path.starts_with(p))
+}
+
+/// True when `path` may call raw console macros (R7): binaries and
+/// examples by shape, plus the [`CONSOLE_ALLOW`] prefixes.
+pub fn console_allowed(path: &str) -> bool {
+    path.ends_with("/main.rs")
+        || path == "main.rs"
+        || path.contains("/bin/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+        || CONSOLE_ALLOW.iter().any(|p| path.starts_with(p))
 }
 
 #[cfg(test)]
@@ -89,5 +115,16 @@ mod tests {
         assert!(wall_clock_allowed("crates/bench/src/lib.rs"));
         assert!(!wall_clock_allowed("crates/netsim/src/sim.rs"));
         assert!(!wall_clock_allowed("crates/campaign/src/exec.rs"));
+    }
+
+    #[test]
+    fn console_allowlist_covers_binaries_and_the_funnel() {
+        assert!(console_allowed("crates/campaign/src/main.rs"));
+        assert!(console_allowed("crates/bench/src/bin/perfgate.rs"));
+        assert!(console_allowed("crates/bench/src/lib.rs"));
+        assert!(console_allowed("crates/obs/src/lib.rs"));
+        assert!(console_allowed("examples/demo.rs"));
+        assert!(!console_allowed("crates/campaign/src/supervisor.rs"));
+        assert!(!console_allowed("crates/netsim/src/sim.rs"));
     }
 }

@@ -8,6 +8,7 @@
 //! | `ambient-rng` | no `thread_rng`/`from_entropy`/`rand::random`, anywhere        |
 //! | `hot-alloc`   | no allocation idioms in files marked hot-path                  |
 //! | `enum-size`   | every hot-list enum has a compile-time `size_of` assertion     |
+//! | `console`     | no raw print macros in library code — use `obs::console!`      |
 //! | `allow-syntax`| every suppression names a real rule and gives a reason         |
 //!
 //! Suppression is per-line and must carry a justification, e.g.
@@ -334,6 +335,26 @@ pub fn lint_lexed(path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
                     "`rand::random` is ambient randomness — derive every seed from \
                      (scale, master_seed, index) via SmallRng::seed_from_u64"
                         .into(),
+                );
+            }
+            // R7 — library code must not write to the console directly:
+            // diagnostics go through `obs::console!`, the one suppressible
+            // funnel, so traces and artifacts never interleave with stray
+            // prints (and a worker's NDJSON stdout stays machine-clean).
+            Some(name @ ("println" | "print" | "eprintln" | "eprint"))
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && !in_test(line)
+                    && !config::console_allowed(path) =>
+            {
+                push(
+                    line,
+                    col,
+                    "console",
+                    format!(
+                        "`{name}!` in library code: route diagnostics through \
+                         `obs::console!` (binaries, examples, and crates/bench \
+                         are exempt)"
+                    ),
                 );
             }
             _ => {}
@@ -708,6 +729,54 @@ mod tests {
     #[test]
     fn clone_in_doc_example_does_not_fire() {
         let src = "// simlint: hot-path\n/// ```\n/// let b = a.clone();\n/// ```\nfn f() {}\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    // ---- R7: console ----
+
+    #[test]
+    fn raw_print_macros_fire_in_library_code() {
+        for stmt in ["println!(\"x\")", "print!(\"x\")", "eprintln!(\"x\")", "eprint!(\"x\")"] {
+            let src = format!("fn f() {{ {stmt}; }}\n");
+            let diags = lint_source(LIB, &src);
+            assert_eq!(
+                diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(),
+                vec![("console", 1)],
+                "{stmt} must fire exactly once"
+            );
+            assert!(diags[0].message.contains("obs::console!"), "{}", diags[0].message);
+        }
+    }
+
+    #[test]
+    fn console_macro_and_non_macro_idents_do_not_fire() {
+        // The sanctioned funnel itself, and `println` as a plain ident.
+        let src = "fn f() { obs::console!(\"status: {}\", 1); let println = 3; }\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn console_rule_exempts_binaries_tests_and_the_allowlist() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        for path in [
+            "crates/campaign/src/main.rs",
+            "crates/bench/src/bin/perfgate.rs",
+            "crates/bench/src/lib.rs",
+            "crates/obs/src/lib.rs",
+            "crates/demo/tests/it.rs",
+            "examples/demo.rs",
+        ] {
+            assert_eq!(lint_source(path, src), vec![], "{path} must be exempt");
+        }
+        let in_test_mod = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { \
+                           println!(\"dbg\"); }\n}\n";
+        assert_eq!(rules_at(in_test_mod), vec![]);
+    }
+
+    #[test]
+    fn console_finding_is_suppressible_with_a_reason() {
+        let src = "fn f() { println!(\"x\"); } \
+                   // simlint: allow(console) — one-shot migration notice, reviewed\n";
         assert_eq!(rules_at(src), vec![]);
     }
 

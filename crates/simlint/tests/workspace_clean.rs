@@ -22,7 +22,9 @@ fn the_workspace_is_lint_clean() {
 fn the_violation_fixture_trips_every_per_file_rule() {
     let fixture = workspace_root().join("crates/simlint/fixtures/violations.rs");
     let diags = simlint::lint_files(&[fixture]).expect("read fixture");
-    for rule in ["safety", "std-hash", "wall-clock", "ambient-rng", "hot-alloc", "allow-syntax"] {
+    for rule in
+        ["safety", "std-hash", "wall-clock", "ambient-rng", "hot-alloc", "console", "allow-syntax"]
+    {
         assert!(
             diags.iter().any(|d| d.rule == rule),
             "fixture must trip simlint::{rule}; got:\n{}",
